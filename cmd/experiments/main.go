@@ -1,0 +1,135 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on a synthetic world and writes the results to stdout (and
+// optionally to a markdown file consumed by EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments [-scale 0.12] [-seed 1] [-run tab1,fig3] [-out results.md]
+//
+// Experiment ids: tab1..tab6, fig1..fig5, tmgdm, dewhole, profile, batch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"darklight/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scale    = flag.Float64("scale", 0.12, "population scale relative to the paper's scrape")
+		seed     = flag.Uint64("seed", 1, "world seed")
+		only     = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		outPath  = flag.String("out", "", "also write results to this markdown file")
+		unknowns = flag.Int("unknowns", 0, "cap on alter-ego query sets (0 = default)")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultLabConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	if *unknowns > 0 {
+		cfg.MaxUnknowns = *unknowns
+	}
+
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			selected[id] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	var out strings.Builder
+	emit := func(format string, args ...any) {
+		s := fmt.Sprintf(format, args...)
+		fmt.Print(s)
+		out.WriteString(s)
+	}
+
+	start := time.Now()
+	emit("darklight experiment suite — scale %.2f, seed %d, started %s\n\n",
+		*scale, *seed, time.Now().Format(time.RFC3339))
+
+	lab, err := experiments.NewLab(cfg)
+	if err != nil {
+		return err
+	}
+	emit("lab ready in %s (reddit %d/%d refined, tmg %d/%d, dm %d/%d)\n\n",
+		time.Since(start).Round(time.Second),
+		lab.Reddit.Len(), lab.RawReddit.Len(),
+		lab.TMG.Len(), lab.RawTMG.Len(),
+		lab.DM.Len(), lab.RawDM.Len())
+
+	type experiment struct {
+		id  string
+		run func() (fmt.Stringer, error)
+	}
+	var crossDark *experiments.CrossForumReport
+	list := []experiment{
+		{"tab1", func() (fmt.Stringer, error) { return lab.Table1(), nil }},
+		{"fig1", func() (fmt.Stringer, error) { return lab.Figure1(), nil }},
+		{"tab2", func() (fmt.Stringer, error) { return lab.Table2() }},
+		{"tab4", func() (fmt.Stringer, error) { return lab.Table4(), nil }},
+		{"tab3", func() (fmt.Stringer, error) { return lab.Table3() }},
+		{"fig2", func() (fmt.Stringer, error) { return lab.Figure2() }},
+		{"tab5", func() (fmt.Stringer, error) { return lab.Table5() }},
+		{"tab6", func() (fmt.Stringer, error) { return lab.Table6() }},
+		{"fig5", func() (fmt.Stringer, error) { return lab.Figure5() }},
+		{"fig4", func() (fmt.Stringer, error) { return lab.Figure4() }},
+		{"fig3", func() (fmt.Stringer, error) { return lab.Figure3() }},
+		{"tmgdm", func() (fmt.Stringer, error) { return lab.TMGvsDM() }},
+		{"dewhole", func() (fmt.Stringer, error) {
+			rep, err := lab.RedditVsDarkWeb()
+			crossDark = rep
+			return rep, err
+		}},
+		{"profile", func() (fmt.Stringer, error) {
+			if crossDark == nil {
+				var err error
+				crossDark, err = lab.RedditVsDarkWeb()
+				if err != nil {
+					return nil, err
+				}
+			}
+			return lab.ProfileBestMatch(crossDark), nil
+		}},
+		{"batch", func() (fmt.Stringer, error) { return lab.BatchProcedure() }},
+	}
+
+	for _, e := range list {
+		if !want(e.id) {
+			continue
+		}
+		t0 := time.Now()
+		rep, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		emit("===== %s (%s) =====\n", e.id, time.Since(t0).Round(time.Millisecond))
+		if rep == nil || (fmt.Stringer)(rep) == nil {
+			emit("(no result)\n\n")
+			continue
+		}
+		emit("%s\n", rep.String())
+	}
+	emit("total wall clock: %s\n", time.Since(start).Round(time.Second))
+
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(out.String()), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *outPath, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+// Command forumd serves a forum over HTTP — either a synthetic one
+// generated on the fly or a dataset loaded from a JSONL file. It is the
+// stand-in hidden service the scraper collects from.
+//
+// Usage:
+//
+//	forumd -listen :8989 -forum tmg -scale 0.02 [-latency 20ms] [-failures 0.05]
+//	forumd -listen :8989 -load dataset.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"darklight"
+	"darklight/internal/darkweb"
+	"darklight/internal/forum"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:8989", "listen address")
+		which    = flag.String("forum", "tmg", "synthetic forum to serve: reddit, tmg, or dm")
+		scale    = flag.Float64("scale", 0.02, "synthetic population scale")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		load     = flag.String("load", "", "serve this JSONL dataset instead of generating")
+		latency  = flag.Duration("latency", 0, "artificial per-request latency")
+		failures = flag.Float64("failures", 0, "probability of a 503 per request")
+	)
+	flag.Parse()
+
+	dataset, err := pickDataset(*load, *which, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "forumd:", err)
+		os.Exit(1)
+	}
+
+	srv := darkweb.NewServer(dataset.Name, dataset, darkweb.Options{
+		Latency:     *latency,
+		FailureRate: *failures,
+		Seed:        int64(*seed),
+	})
+	log.Printf("forumd: serving %s (%d aliases, %d messages, boards %v) on http://%s",
+		dataset.Name, dataset.Len(), dataset.TotalMessages(), srv.Boards(), *listen)
+
+	server := &http.Server{
+		Addr:              *listen,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := server.ListenAndServe(); err != nil {
+		log.Fatalf("forumd: %v", err)
+	}
+}
+
+func pickDataset(load, which string, scale float64, seed uint64) (*forum.Dataset, error) {
+	if load != "" {
+		return darklight.LoadJSONL(load, "loaded", forum.PlatformSynthetic)
+	}
+	world, err := darklight.GenerateWorld(darklight.WorldConfig{Seed: seed, Scale: scale})
+	if err != nil {
+		return nil, err
+	}
+	switch which {
+	case "reddit":
+		return world.Reddit, nil
+	case "tmg":
+		return world.TMG, nil
+	case "dm":
+		return world.DM, nil
+	default:
+		return nil, fmt.Errorf("unknown forum %q (want reddit, tmg, or dm)", which)
+	}
+}

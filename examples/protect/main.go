@@ -1,0 +1,66 @@
+// Protect: the defensive side of the paper (§VI "Avoiding the attack" and
+// the conclusion's call for writing-style anonymisation software). The
+// same alter-ego experiment is run twice — once on raw text and schedules,
+// once after the anonymiser rewrites the unknown aliases — to measure how
+// much protection the countermeasures buy against this repository's own
+// attack pipeline.
+//
+//	go run ./examples/protect
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"darklight"
+)
+
+func main() {
+	world, err := darklight.GenerateWorld(darklight.WorldConfig{Seed: 23, Scale: 0.03})
+	if err != nil {
+		log.Fatal(err)
+	}
+	world.AlignUTC()
+
+	pipe := darklight.NewPipeline()
+	pipe.Polish(world.Reddit)
+	refined := pipe.Refine(world.Reddit)
+	main_, alterEgos := pipe.SplitAlterEgos(refined)
+	if alterEgos.Len() > 60 {
+		alterEgos.Aliases = alterEgos.Aliases[:60]
+	}
+	fmt.Printf("experiment: %d known aliases, %d probes\n\n", main_.Len(), alterEgos.Len())
+
+	accuracy := func(probes *darklight.Dataset) float64 {
+		matches, err := pipe.Link(context.Background(), main_, probes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hits := 0
+		for _, m := range matches {
+			if m.Unknown == m.Candidate {
+				hits++
+			}
+		}
+		return float64(hits) / float64(len(matches))
+	}
+
+	raw := accuracy(alterEgos)
+	fmt.Printf("attack accuracy on raw aliases:        %5.1f%%\n", 100*raw)
+
+	// What one message looks like before/after.
+	sample := alterEgos.Aliases[0].Messages[0].Body
+	if len(sample) > 140 {
+		sample = sample[:140] + "…"
+	}
+	opts := darklight.DefaultAnonymizeOptions()
+	fmt.Printf("\nsample before: %s\n", sample)
+	rewritten := darklight.AnonymizeText(sample, opts)
+	fmt.Printf("sample after:  %s\n\n", rewritten)
+
+	protected := accuracy(darklight.Anonymize(alterEgos, opts))
+	fmt.Printf("attack accuracy after anonymisation:   %5.1f%%\n", 100*protected)
+	fmt.Printf("\nprotection: accuracy cut by %.1f points — and §VI's caveat stands:\n", 100*(raw-protected))
+	fmt.Println("content choices still leak, so disposable aliases remain the only full defence.")
+}

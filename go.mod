@@ -1,0 +1,3 @@
+module darklight
+
+go 1.22

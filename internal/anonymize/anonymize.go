@@ -1,0 +1,237 @@
+// Package anonymize implements the defence side of the paper: §VI
+// ("Avoiding the attack") analyses how a user could protect herself from
+// the daily-activity + stylometry pipeline, and the conclusion calls for
+// "more work on software that is able to anonymize writing patterns"
+// (citing Anonymouth). This package is such a tool, scoped to exactly the
+// feature families the attack exploits:
+//
+//   - character-level idiosyncrasies: habitual misspellings, letter-case
+//     habits, *emphasis*, emoji, repeated punctuation ("...", "!!");
+//   - frequency features: punctuation/digit/special-char rates are pushed
+//     toward a population-neutral profile by normalising their carriers;
+//   - word-level markers: slang/abbreviation expansion ("imo" → "in my
+//     opinion"), filler-opener removal;
+//   - the daily activity profile: messages are re-timed by a scheduled
+//     posting queue, which is the §VI countermeasure ("post on a
+//     completely different time") made practical.
+//
+// The package deliberately does not paraphrase content — that is the
+// open research problem the paper points at — so the protection it offers
+// is measurable but partial, which is itself one of §VI's claims. The
+// degradation it causes to the attack is quantified in the package tests
+// and in BenchmarkCountermeasure.
+package anonymize
+
+import (
+	"math/rand"
+	"strings"
+	"time"
+	"unicode"
+
+	"darklight/internal/forum"
+	"darklight/internal/tokenize"
+)
+
+// Options select which defences run. The zero value applies none; use
+// DefaultOptions for the full §VI treatment.
+type Options struct {
+	// FixMisspellings replaces habitual misspellings with the standard
+	// form ("definately" → "definitely", "u" → "you").
+	FixMisspellings bool
+	// ExpandSlang rewrites forum abbreviations to plain words
+	// ("imo" → "in my opinion").
+	ExpandSlang bool
+	// NormalizeCase lowercases SHOUTED words and sentence-cases the text,
+	// removing letter-case habits.
+	NormalizeCase bool
+	// NormalizePunctuation collapses "..." / "!!" / "??" runs to a single
+	// mark, drops *emphasis* asterisks and (parenthetical) habits' extra
+	// markers, and strips emoji.
+	NormalizePunctuation bool
+	// DropOpeners removes habitual sentence openers ("honestly, ...").
+	DropOpeners bool
+	// RescheduleWithin, when positive, re-times every message uniformly at
+	// random within this window starting at the original day's 00:00 UTC —
+	// a scheduled-posting queue that destroys the daily activity profile.
+	RescheduleWithin time.Duration
+	// Seed drives rescheduling.
+	Seed int64
+}
+
+// DefaultOptions enables every textual defence and a 24-hour posting
+// queue.
+func DefaultOptions() Options {
+	return Options{
+		FixMisspellings:      true,
+		ExpandSlang:          true,
+		NormalizeCase:        true,
+		NormalizePunctuation: true,
+		DropOpeners:          true,
+		RescheduleWithin:     24 * time.Hour,
+		Seed:                 1,
+	}
+}
+
+// Anonymizer rewrites text and schedules to suppress stylometric and
+// temporal fingerprints. Safe for concurrent use.
+type Anonymizer struct {
+	opts Options
+}
+
+// New returns an anonymizer with the given options.
+func New(opts Options) *Anonymizer { return &Anonymizer{opts: opts} }
+
+// Text rewrites one message body.
+func (a *Anonymizer) Text(body string) string {
+	if a.opts.NormalizePunctuation {
+		body = normalizePunctuation(body)
+	}
+	words := strings.Fields(body)
+	out := make([]string, 0, len(words))
+	for i, w := range words {
+		core, prefix, suffix := splitAffixes(w)
+		lower := strings.ToLower(core)
+		switch {
+		case a.opts.FixMisspellings && corrections[lower] != "":
+			core = matchCase(core, corrections[lower])
+		case a.opts.ExpandSlang && slangExpansion[lower] != "":
+			core = matchCase(core, slangExpansion[lower])
+		}
+		if a.opts.DropOpeners && i == 0 && openerSet[lower] && len(words) > 3 {
+			continue
+		}
+		if a.opts.NormalizeCase {
+			core = normalizeWordCase(core)
+		}
+		out = append(out, prefix+core+suffix)
+	}
+	result := strings.Join(out, " ")
+	if a.opts.NormalizeCase {
+		result = sentenceCase(result)
+	}
+	return result
+}
+
+// Alias rewrites every message of an alias (bodies and, when configured,
+// posting times) and returns the anonymised copy.
+func (a *Anonymizer) Alias(in forum.Alias) forum.Alias {
+	out := forum.Alias{Name: in.Name, Platform: in.Platform}
+	out.Messages = make([]forum.Message, len(in.Messages))
+	r := rand.New(rand.NewSource(a.opts.Seed ^ int64(len(in.Messages))))
+	for i, m := range in.Messages {
+		m.Body = a.Text(m.Body)
+		if a.opts.RescheduleWithin > 0 {
+			day := m.PostedAt.UTC().Truncate(24 * time.Hour)
+			m.PostedAt = day.Add(time.Duration(r.Int63n(int64(a.opts.RescheduleWithin))))
+		}
+		out.Messages[i] = m
+	}
+	return out
+}
+
+// Dataset anonymises every alias, returning a new dataset.
+func (a *Anonymizer) Dataset(d *forum.Dataset) *forum.Dataset {
+	out := forum.NewDataset(d.Name, d.Platform)
+	for i := range d.Aliases {
+		out.Aliases = append(out.Aliases, a.Alias(d.Aliases[i]))
+	}
+	return out
+}
+
+// --- text transforms ---
+
+// normalizePunctuation collapses repeated terminal punctuation, removes
+// emphasis/parenthesis decoration, and strips emoji.
+func normalizePunctuation(s string) string {
+	s = tokenize.StripEmoji(s)
+	var b strings.Builder
+	b.Grow(len(s))
+	var prev rune
+	for _, r := range s {
+		switch r {
+		case '.', '!', '?':
+			if prev == r {
+				continue // ".." → "."
+			}
+		case '*', '~':
+			prev = r
+			continue // drop emphasis decoration entirely
+		}
+		b.WriteRune(r)
+		prev = r
+	}
+	return b.String()
+}
+
+// splitAffixes separates leading/trailing punctuation from a word so the
+// dictionaries match the core token.
+func splitAffixes(w string) (core, prefix, suffix string) {
+	start := 0
+	for start < len(w) && !isWordByte(w[start]) {
+		start++
+	}
+	end := len(w)
+	for end > start && !isWordByte(w[end-1]) {
+		end--
+	}
+	return w[start:end], w[:start], w[end:]
+}
+
+func isWordByte(b byte) bool {
+	return b == '\'' || b >= '0' && b <= '9' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= 0x80
+}
+
+// matchCase maps the replacement to the original's capitalisation shape.
+func matchCase(original, replacement string) string {
+	if original == "" || replacement == "" {
+		return replacement
+	}
+	r := []rune(original)
+	if unicode.IsUpper(r[0]) {
+		rr := []rune(replacement)
+		rr[0] = unicode.ToUpper(rr[0])
+		return string(rr)
+	}
+	return replacement
+}
+
+// normalizeWordCase lowercases fully-uppercase (shouted) words longer than
+// one rune; acronym-ish short tokens are left alone.
+func normalizeWordCase(w string) string {
+	runes := []rune(w)
+	if len(runes) < 3 {
+		return w
+	}
+	upper := 0
+	letters := 0
+	for _, r := range runes {
+		if unicode.IsLetter(r) {
+			letters++
+			if unicode.IsUpper(r) {
+				upper++
+			}
+		}
+	}
+	if letters > 0 && upper == letters {
+		return strings.ToLower(w)
+	}
+	return w
+}
+
+// sentenceCase lowercases everything and re-capitalises sentence starts —
+// a single, population-neutral casing habit.
+func sentenceCase(s string) string {
+	s = strings.ToLower(s)
+	out := []rune(s)
+	capNext := true
+	for i, r := range out {
+		if capNext && unicode.IsLetter(r) {
+			out[i] = unicode.ToUpper(r)
+			capNext = false
+		}
+		if r == '.' || r == '!' || r == '?' {
+			capNext = true
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,49 @@
+package anonymize
+
+// corrections maps habitual misspellings to the standard form. Stable
+// misspellings are among the strongest IDF-amplified author markers, so
+// fixing them removes exactly the rare-gram signal §IV-A's TF-IDF boosts.
+var corrections = map[string]string{
+	"definately": "definitely", "alot": "a lot", "recieve": "receive",
+	"seperate": "separate", "wierd": "weird", "beleive": "believe",
+	"untill": "until", "tommorow": "tomorrow", "realy": "really",
+	"wich": "which", "becuase": "because", "thier": "their",
+	"probly": "probably", "gunna": "going to", "wether": "whether",
+	"grammer": "grammar", "tonite": "tonight", "somethin": "something",
+	"nothin": "nothing", "u": "you", "ur": "your", "r": "are",
+	"plz": "please", "ppl": "people", "tho": "though", "thru": "through",
+	"rite": "right", "wat": "what", "dont": "don't", "cant": "can't",
+	"wont": "won't", "didnt": "didn't", "doesnt": "doesn't",
+	"isnt": "isn't", "wasnt": "wasn't", "im": "i'm", "ive": "i've",
+	"id": "i'd", "youre": "you're", "theyre": "they're", "theres": "there's",
+}
+
+// slangExpansion rewrites forum abbreviations into plain words; the
+// expansions are population-common phrases, so the per-user slang
+// repertoire stops being a marker.
+var slangExpansion = map[string]string{
+	"lol": "that is funny", "lmao": "that is funny",
+	"imo": "in my opinion", "imho": "in my opinion",
+	"tbh": "to be honest", "afaik": "as far as i know",
+	"iirc": "if i remember correctly", "btw": "by the way",
+	"fyi": "for your information", "smh": "unbelievable",
+	"ikr": "i agree", "idk": "i do not know", "irl": "in real life",
+	"nvm": "never mind", "thx": "thanks", "pls": "please",
+	"rn": "right now", "af": "very", "fr": "really",
+	"ngl": "honestly", "yep": "yes", "nope": "no", "yeah": "yes",
+	"nah": "no", "kinda": "kind of", "sorta": "sort of",
+	"gonna": "going to", "wanna": "want to", "gotta": "have to",
+	"dunno": "do not know", "lemme": "let me", "gimme": "give me",
+	"welp": "well", "meh": "it is average", "sus": "suspicious",
+	"dude": "friend", "bro": "friend", "mate": "friend",
+}
+
+// openerSet lists habitual sentence openers whose per-user preference is a
+// strong word-gram signature; dropping them from the front of a message
+// costs little meaning.
+var openerSet = map[string]bool{
+	"well": true, "honestly": true, "look": true, "listen": true,
+	"anyway": true, "personally": true, "frankly": true, "actually": true,
+	"so": true, "alright": true, "man": true, "oh": true, "hmm": true,
+	"basically": true, "literally": true, "ok": true, "okay": true,
+}

@@ -1,0 +1,398 @@
+package attribution
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"darklight/internal/features"
+)
+
+// Options configure a Matcher. The zero value is not usable; start from
+// DefaultOptions.
+type Options struct {
+	// K is the candidate-set size of the reduction stage.
+	K int
+	// Threshold is the acceptance score for the final pair decision.
+	Threshold float64
+	// Reduction is the stage-1 feature configuration (Table II left).
+	Reduction features.Config
+	// Final is the stage-2 feature configuration (Table II right).
+	Final features.Config
+	// UseActivity includes the daily activity profile in the score.
+	UseActivity bool
+	// ActivityWeight is the relative L2 norm of the activity block
+	// (the n-gram block has norm 1). Ignored when UseActivity is false.
+	ActivityWeight float64
+	// FreqWeight is the relative L2 norm of the 42 punctuation/digit/
+	// special-char frequency dimensions.
+	FreqWeight float64
+	// TwoStage enables the stage-2 TF-IDF recomputation. Disabling it
+	// reuses stage-1 scores (an ablation; §IV-H shows two-stage wins).
+	TwoStage bool
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		K:              DefaultK,
+		Threshold:      DefaultThreshold,
+		Reduction:      features.ReductionConfig(),
+		Final:          features.FinalConfig(),
+		UseActivity:    true,
+		ActivityWeight: 0.7,
+		FreqWeight:     0.2,
+		TwoStage:       true,
+	}
+}
+
+// weights returns the effective block weights.
+func (o Options) weights() Weights {
+	w := Weights{Freq: o.FreqWeight, Activity: o.ActivityWeight}
+	if !o.UseActivity {
+		w.Activity = 0
+	}
+	return w
+}
+
+func (o Options) withDefaults() Options {
+	if o.K <= 0 {
+		o.K = DefaultK
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Scored is a candidate with its similarity score.
+type Scored struct {
+	Name  string
+	Score float64
+}
+
+// MatchResult is the full outcome for one unknown alias.
+type MatchResult struct {
+	// Unknown is the queried alias name.
+	Unknown string
+	// Candidates is the stage-1 top-k, best first.
+	Candidates []Scored
+	// Rescored is the stage-2 scoring of the same candidates, best first.
+	// Equal to Candidates when TwoStage is off.
+	Rescored []Scored
+	// Best is Rescored[0] (zero value when the known set is empty).
+	Best Scored
+	// Accepted reports Best.Score >= Threshold — the pair the algorithm
+	// outputs (§IV-I).
+	Accepted bool
+}
+
+// Matcher links unknown aliases against a fixed set of known aliases.
+// Construction precomputes the reduction vocabulary, an inverted index
+// over the known subjects' n-gram blocks, and their dense frequency and
+// activity blocks; after that Match and MatchAll are safe for concurrent
+// use.
+type Matcher struct {
+	opts  Options
+	known []Subject
+
+	vocab *features.Vocabulary
+	// Inverted index over gram features: for each feature index, the list
+	// of (known subject, normalised value) postings. Scoring an unknown
+	// touches only postings of features the unknown actually has.
+	postings map[uint32][]posting
+	// hasGrams marks subjects with a non-empty gram block.
+	hasGrams []bool
+	// freqs and acts are the dense normalised frequency and activity
+	// blocks (nil entries when absent).
+	freqs [][]float64
+	acts  [][]float64
+}
+
+type posting struct {
+	subject int
+	value   float32
+}
+
+// NewMatcher indexes the known subjects. The known slice is retained (the
+// second stage re-reads candidate texts); callers must not mutate it.
+func NewMatcher(known []Subject, opts Options) (*Matcher, error) {
+	opts = opts.withDefaults()
+	if err := opts.Reduction.Validate(); err != nil {
+		return nil, fmt.Errorf("attribution: reduction config: %w", err)
+	}
+	if opts.TwoStage {
+		if err := opts.Final.Validate(); err != nil {
+			return nil, fmt.Errorf("attribution: final config: %w", err)
+		}
+	}
+	m := &Matcher{opts: opts, known: known}
+
+	// Pass 1: corpus statistics → vocabulary. Extraction fans out over a
+	// worker pool; a single adder folds docs into the builder (map merges
+	// commute, so completion order is irrelevant). Docs are dropped right
+	// away — keeping every doc alive would cost ~1 MB per subject.
+	vb := features.NewVocabBuilder(opts.Reduction)
+	extracted := make(chan *features.Doc, opts.Workers)
+	go func() {
+		defer close(extracted)
+		parallelIndexed(opts.Workers, len(known), func(i int) {
+			extracted <- features.Extract(known[i].Text, opts.Reduction)
+		})
+	}()
+	for d := range extracted {
+		vb.Add(d)
+	}
+	m.vocab = vb.Build()
+
+	// Pass 2: re-extract and build blocks in parallel; assemble the
+	// inverted index serially.
+	blocksOf := make([]blocks, len(known))
+	parallelIndexed(opts.Workers, len(known), func(i int) {
+		blocksOf[i] = buildBlocks(&known[i], m.vocab, opts.Reduction)
+	})
+	m.postings = make(map[uint32][]posting)
+	m.hasGrams = make([]bool, len(known))
+	m.freqs = make([][]float64, len(known))
+	m.acts = make([][]float64, len(known))
+	for i := range blocksOf {
+		b := &blocksOf[i]
+		m.hasGrams[i] = b.grams.Len() > 0
+		m.freqs[i] = b.freq
+		m.acts[i] = b.act
+		for k, idx := range b.grams.Idx {
+			m.postings[idx] = append(m.postings[idx], posting{subject: i, value: float32(b.grams.Val[k])})
+		}
+	}
+	return m, nil
+}
+
+// parallelIndexed runs fn(i) for every i in [0, n) over `workers`
+// goroutines and waits for completion.
+func parallelIndexed(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var next int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// NumKnown returns the size of the known set.
+func (m *Matcher) NumKnown() int { return len(m.known) }
+
+// Vocabulary exposes the reduction vocabulary (for reports and tests).
+func (m *Matcher) Vocabulary() *features.Vocabulary { return m.vocab }
+
+// Rank runs stage 1 under the matcher's configured weights.
+func (m *Matcher) Rank(unknown *Subject, k int) []Scored {
+	return m.RankWith(unknown, k, m.opts.weights())
+}
+
+// RankWith runs stage 1 — cosine similarity of the unknown against every
+// known subject — under explicit block weights, returning the top-k best
+// first. One index serves any weighting: Table III and Fig. 4 compare
+// "text only" (Activity 0) against "all features" from the same matcher.
+func (m *Matcher) RankWith(unknown *Subject, k int, w Weights) []Scored {
+	if k <= 0 {
+		k = m.opts.K
+	}
+	ub := buildBlocks(unknown, m.vocab, m.opts.Reduction)
+	uNorm := ub.norm(w)
+	scores := make([]float64, len(m.known))
+	if uNorm == 0 {
+		return topKScores(m.known, scores, k)
+	}
+
+	// Gram block via the inverted index.
+	tdots := make([]float32, len(m.known))
+	for j, idx := range ub.grams.Idx {
+		v := float32(ub.grams.Val[j])
+		for _, p := range m.postings[idx] {
+			tdots[p.subject] += p.value * v
+		}
+	}
+	// Dense blocks + normalisation.
+	wf2 := w.Freq * w.Freq
+	wa2 := w.Activity * w.Activity
+	for i := range m.known {
+		dot := float64(tdots[i])
+		if wf2 > 0 {
+			dot += wf2 * denseDot(ub.freq, m.freqs[i])
+		}
+		if wa2 > 0 {
+			dot += wa2 * denseDot(ub.act, m.acts[i])
+		}
+		kn := normOf(m.hasGrams[i], m.freqs[i] != nil, m.acts[i] != nil, w)
+		if kn == 0 {
+			continue
+		}
+		scores[i] = dot / (uNorm * kn)
+	}
+	return topKScores(m.known, scores, k)
+}
+
+// normOf is blocks.norm computed from block presence alone (each block is
+// unit-normalised, so only presence matters).
+func normOf(hasGrams, hasFreq, hasAct bool, w Weights) float64 {
+	n := 0.0
+	if hasGrams {
+		n += 1
+	}
+	if hasFreq {
+		n += w.Freq * w.Freq
+	}
+	if hasAct {
+		n += w.Activity * w.Activity
+	}
+	return math.Sqrt(n)
+}
+
+// topKScores selects the k best (score, name) pairs; ties break by name
+// for determinism.
+func topKScores(known []Subject, scores []float64, k int) []Scored {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return known[idx[a]].Name < known[idx[b]].Name
+	})
+	out := make([]Scored, 0, k)
+	for _, i := range idx[:k] {
+		out = append(out, Scored{Name: known[i].Name, Score: scores[i]})
+	}
+	return out
+}
+
+// Rescore runs stage 2 on a candidate list: rebuild the vocabulary and
+// TF-IDF over only the candidates' documents (changing the selected
+// n-grams and hence every vector, including the unknown's), then rescore
+// by cosine under the matcher's weights.
+func (m *Matcher) Rescore(unknown *Subject, candidates []Scored) []Scored {
+	byName := make(map[string]*Subject, len(m.known))
+	for i := range m.known {
+		byName[m.known[i].Name] = &m.known[i]
+	}
+	subjects := make([]*Subject, 0, len(candidates))
+	for _, c := range candidates {
+		if s, ok := byName[c.Name]; ok {
+			subjects = append(subjects, s)
+		}
+	}
+	vb := features.NewVocabBuilder(m.opts.Final)
+	docs := make([]*features.Doc, len(subjects))
+	for i, s := range subjects {
+		docs[i] = features.Extract(s.Text, m.opts.Final)
+		vb.Add(docs[i])
+	}
+	vocab := vb.Build()
+
+	w := m.opts.weights()
+	ub := buildBlocks(unknown, vocab, m.opts.Final)
+	out := make([]Scored, 0, len(subjects))
+	for i, s := range subjects {
+		cb := buildBlocksFromDoc(docs[i], s, vocab)
+		out = append(out, Scored{Name: s.Name, Score: similarity(&ub, &cb, w)})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Name < out[b].Name
+	})
+	return out
+}
+
+// Match runs the full §IV-I algorithm for one unknown.
+func (m *Matcher) Match(unknown *Subject) MatchResult {
+	res := MatchResult{Unknown: unknown.Name}
+	res.Candidates = m.Rank(unknown, m.opts.K)
+	if len(res.Candidates) == 0 {
+		return res
+	}
+	if m.opts.TwoStage {
+		res.Rescored = m.Rescore(unknown, res.Candidates)
+	} else {
+		res.Rescored = res.Candidates
+	}
+	res.Best = res.Rescored[0]
+	res.Accepted = res.Best.Score >= m.opts.Threshold
+	return res
+}
+
+// MatchAll matches every unknown concurrently over a bounded worker pool.
+// Results are positionally aligned with the input. The context cancels
+// remaining work; cancelled entries carry only the Unknown name.
+func (m *Matcher) MatchAll(ctx context.Context, unknowns []Subject) ([]MatchResult, error) {
+	results := make([]MatchResult, len(unknowns))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := m.opts.Workers
+	if workers > len(unknowns) {
+		workers = len(unknowns)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = m.Match(&unknowns[i])
+			}
+		}()
+	}
+	var err error
+feed:
+	for i := range unknowns {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err != nil {
+		for i := range results {
+			if results[i].Unknown == "" {
+				results[i].Unknown = unknowns[i].Name
+			}
+		}
+	}
+	return results, err
+}

@@ -1,0 +1,224 @@
+// Package darkweb serves a forum dataset over HTTP the way a hidden
+// service would: board index, paginated thread listings, paginated thread
+// pages with posts. It is the test double for the paper's data-collection
+// targets ("these sites do not have open APIs; we had to scrape the
+// content of the forums", §III-B) — the scraper package crawls it exactly
+// as it would crawl the real thing, including slow responses and transient
+// errors.
+package darkweb
+
+import (
+	"fmt"
+	"html"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"darklight/internal/forum"
+)
+
+// PostsPerPage is the thread pagination size.
+const PostsPerPage = 20
+
+// ThreadsPerPage is the board pagination size.
+const ThreadsPerPage = 25
+
+// Options tune the server's failure injection.
+type Options struct {
+	// Latency delays every response (simulated Tor circuit time).
+	Latency time.Duration
+	// FailureRate is the probability of answering 503 instead of content
+	// (the scraper must retry). 0 disables.
+	FailureRate float64
+	// Seed drives failure injection.
+	Seed int64
+}
+
+// Server renders one dataset as a forum.
+type Server struct {
+	name string
+	opts Options
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	boards  []string
+	threads map[string][]string        // board → thread ids (sorted)
+	posts   map[string][]forum.Message // thread id → posts by time
+}
+
+// NewServer indexes the dataset into boards and threads. Messages without
+// a thread are grouped into a per-board "general" thread.
+func NewServer(name string, d *forum.Dataset, opts Options) *Server {
+	s := &Server{
+		name:    name,
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		threads: make(map[string][]string),
+		posts:   make(map[string][]forum.Message),
+	}
+	boardSet := make(map[string]map[string]bool)
+	for i := range d.Aliases {
+		for _, m := range d.Aliases[i].Messages {
+			board := m.Board
+			if board == "" {
+				board = "general"
+			}
+			thread := m.Thread
+			if thread == "" {
+				thread = board + "-general"
+			}
+			if boardSet[board] == nil {
+				boardSet[board] = make(map[string]bool)
+			}
+			if !boardSet[board][thread] {
+				boardSet[board][thread] = true
+				s.threads[board] = append(s.threads[board], thread)
+			}
+			s.posts[thread] = append(s.posts[thread], m)
+		}
+	}
+	for board, threads := range s.threads {
+		sort.Strings(threads)
+		s.threads[board] = threads
+		s.boards = append(s.boards, board)
+	}
+	sort.Strings(s.boards)
+	for _, posts := range s.posts {
+		sort.Slice(posts, func(i, j int) bool {
+			if !posts[i].PostedAt.Equal(posts[j].PostedAt) {
+				return posts[i].PostedAt.Before(posts[j].PostedAt)
+			}
+			return posts[i].ID < posts[j].ID
+		})
+	}
+	return s
+}
+
+// Boards returns the board names.
+func (s *Server) Boards() []string { return append([]string(nil), s.boards...) }
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.withChaos(s.handleIndex))
+	mux.HandleFunc("/board/", s.withChaos(s.handleBoard))
+	mux.HandleFunc("/thread/", s.withChaos(s.handleThread))
+	return mux
+}
+
+// withChaos applies latency and failure injection.
+func (s *Server) withChaos(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.opts.Latency > 0 {
+			time.Sleep(s.opts.Latency)
+		}
+		if s.opts.FailureRate > 0 {
+			s.mu.Lock()
+			fail := s.rng.Float64() < s.opts.FailureRate
+			s.mu.Unlock()
+			if fail {
+				http.Error(w, "circuit collapsed, try again", http.StatusServiceUnavailable)
+				return
+			}
+		}
+		h(w, r)
+	}
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>%s</title></head><body>\n", html.EscapeString(s.name))
+	fmt.Fprintf(&b, "<h1>%s</h1>\n<ul class=\"boards\">\n", html.EscapeString(s.name))
+	for _, board := range s.boards {
+		fmt.Fprintf(&b, "<li><a class=\"board\" href=\"/board/%s\">%s</a> (%d threads)</li>\n",
+			board, html.EscapeString(board), len(s.threads[board]))
+	}
+	b.WriteString("</ul></body></html>\n")
+	writeHTML(w, b.String())
+}
+
+func (s *Server) handleBoard(w http.ResponseWriter, r *http.Request) {
+	board := strings.TrimPrefix(r.URL.Path, "/board/")
+	threads, ok := s.threads[board]
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	page := pageOf(r)
+	start, end, last := paginate(len(threads), ThreadsPerPage, page)
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><body><h2>board: %s</h2>\n<ul class=\"threads\">\n", html.EscapeString(board))
+	for _, t := range threads[start:end] {
+		fmt.Fprintf(&b, "<li><a class=\"thread\" href=\"/thread/%s\">%s</a> (%d posts)</li>\n",
+			t, html.EscapeString(t), len(s.posts[t]))
+	}
+	b.WriteString("</ul>\n")
+	if page < last {
+		fmt.Fprintf(&b, "<a class=\"next\" href=\"/board/%s?page=%d\">next</a>\n", board, page+1)
+	}
+	b.WriteString("</body></html>\n")
+	writeHTML(w, b.String())
+}
+
+func (s *Server) handleThread(w http.ResponseWriter, r *http.Request) {
+	thread := strings.TrimPrefix(r.URL.Path, "/thread/")
+	posts, ok := s.posts[thread]
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	page := pageOf(r)
+	start, end, last := paginate(len(posts), PostsPerPage, page)
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><body><h2>thread: %s</h2>\n", html.EscapeString(thread))
+	for _, p := range posts[start:end] {
+		fmt.Fprintf(&b,
+			"<article class=\"post\" data-id=%q data-author=%q data-board=%q data-time=%q>\n%s\n</article>\n",
+			p.ID, p.Author, p.Board, p.PostedAt.Format(time.RFC3339),
+			html.EscapeString(p.Body))
+	}
+	if page < last {
+		fmt.Fprintf(&b, "<a class=\"next\" href=\"/thread/%s?page=%d\">next</a>\n", thread, page+1)
+	}
+	b.WriteString("</body></html>\n")
+	writeHTML(w, b.String())
+}
+
+func writeHTML(w http.ResponseWriter, body string) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(body))
+}
+
+func pageOf(r *http.Request) int {
+	p, err := strconv.Atoi(r.URL.Query().Get("page"))
+	if err != nil || p < 0 {
+		return 0
+	}
+	return p
+}
+
+// paginate returns the [start, end) slice bounds of a page and the last
+// valid page index.
+func paginate(total, perPage, page int) (start, end, last int) {
+	if total == 0 {
+		return 0, 0, 0
+	}
+	last = (total - 1) / perPage
+	if page > last {
+		page = last
+	}
+	start = page * perPage
+	end = start + perPage
+	if end > total {
+		end = total
+	}
+	return start, end, last
+}

@@ -1,0 +1,151 @@
+package darkweb
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"darklight/internal/forum"
+)
+
+func testDataset() *forum.Dataset {
+	d := forum.NewDataset("test-forum", forum.PlatformDreamMarket)
+	t0 := time.Date(2017, 5, 1, 10, 0, 0, 0, time.UTC)
+	var msgs []forum.Message
+	for i := 0; i < 45; i++ { // 45 posts in one thread → 3 pages at 20/page
+		msgs = append(msgs, forum.Message{
+			ID: "m" + itoa(i), Author: "alice", Board: "reviews", Thread: "big-thread",
+			Body: "post number " + itoa(i) + ` with <angle> & "quote"`, PostedAt: t0.Add(time.Duration(i) * time.Hour),
+		})
+	}
+	d.Add(forum.Alias{Name: "alice", Messages: msgs})
+	d.Add(forum.Alias{Name: "bob", Messages: []forum.Message{
+		{ID: "b1", Author: "bob", Board: "scams", Thread: "warning-1", Body: "watch out", PostedAt: t0},
+		{ID: "b2", Author: "bob", Body: "no board or thread", PostedAt: t0},
+	}})
+	return d
+}
+
+func itoa(i int) string {
+	s := ""
+	if i == 0 {
+		return "0"
+	}
+	for i > 0 {
+		s = string(rune('0'+i%10)) + s
+		i /= 10
+	}
+	return s
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerIndex(t *testing.T) {
+	srv := NewServer("test-forum", testDataset(), Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, board := range []string{"reviews", "scams", "general"} {
+		if !strings.Contains(body, `href="/board/`+board+`"`) {
+			t.Errorf("index missing board %s", board)
+		}
+	}
+	if boards := srv.Boards(); len(boards) != 3 {
+		t.Errorf("Boards = %v", boards)
+	}
+}
+
+func TestServerBoardAndThreadPagination(t *testing.T) {
+	srv := NewServer("test-forum", testDataset(), Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, body := get(t, ts, "/board/reviews")
+	if !strings.Contains(body, `href="/thread/big-thread"`) {
+		t.Error("board page missing thread link")
+	}
+
+	// Thread page 0: 20 posts + next link.
+	_, p0 := get(t, ts, "/thread/big-thread")
+	if got := strings.Count(p0, "<article"); got != PostsPerPage {
+		t.Errorf("page 0 has %d posts", got)
+	}
+	if !strings.Contains(p0, `href="/thread/big-thread?page=1"`) {
+		t.Error("page 0 missing next link")
+	}
+	// Last page: 5 posts, no next link.
+	_, p2 := get(t, ts, "/thread/big-thread?page=2")
+	if got := strings.Count(p2, "<article"); got != 5 {
+		t.Errorf("page 2 has %d posts", got)
+	}
+	if strings.Contains(p2, `class="next"`) {
+		t.Error("last page must not have a next link")
+	}
+	// Page beyond the end clamps to the last page.
+	_, pbig := get(t, ts, "/thread/big-thread?page=99")
+	if got := strings.Count(pbig, "<article"); got != 5 {
+		t.Errorf("clamped page has %d posts", got)
+	}
+}
+
+func TestServerEscapesHTML(t *testing.T) {
+	srv := NewServer("test-forum", testDataset(), Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	_, body := get(t, ts, "/thread/big-thread")
+	if strings.Contains(body, "<angle>") {
+		t.Error("post bodies must be HTML-escaped")
+	}
+	if !strings.Contains(body, "&lt;angle&gt;") {
+		t.Error("escaped body missing")
+	}
+}
+
+func TestServerNotFound(t *testing.T) {
+	srv := NewServer("test-forum", testDataset(), Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/board/nope", "/thread/nope", "/bogus"} {
+		if code, _ := get(t, ts, path); code != http.StatusNotFound {
+			t.Errorf("%s returned %d", path, code)
+		}
+	}
+}
+
+func TestServerFailureInjection(t *testing.T) {
+	srv := NewServer("flaky", testDataset(), Options{FailureRate: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if code, _ := get(t, ts, "/"); code != http.StatusServiceUnavailable {
+		t.Errorf("failure rate 1 must 503, got %d", code)
+	}
+}
+
+func TestUnthreadedMessagesGetDefaultThread(t *testing.T) {
+	srv := NewServer("test-forum", testDataset(), Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	_, body := get(t, ts, "/board/general")
+	if !strings.Contains(body, "general-general") {
+		t.Error("boardless message must land in the general board's default thread")
+	}
+}

@@ -1,0 +1,265 @@
+// Package features implements the stylometric feature extraction of §IV-A
+// and Table II of the paper: word 1–3-grams and character 1–5-grams over
+// lemmatised text, plus the frequencies of punctuation marks, digits, and
+// special characters. N-grams are ranked by corpus frequency, the top N
+// are kept as the vocabulary, and per-document weights are TF-IDF.
+//
+// N-grams are identified by a 64-bit FNV-1a hash rather than by string —
+// feature hashing. At 64 bits, collisions across even a million distinct
+// grams are vanishingly rare (birthday bound ≈ 2.7e-8), and extraction
+// avoids a string allocation per gram, which is what makes the single-CPU
+// experiment sweeps feasible. The hash is fixed (not seeded per process)
+// so runs are reproducible.
+//
+// The package is deliberately two-pass friendly: extraction (Extract) is
+// cheap and repeatable, so callers keep only compact sparse vectors and
+// rebuild vocabularies over candidate subsets — exactly what the paper's
+// second cosine-similarity stage requires.
+package features
+
+import (
+	"fmt"
+	"strings"
+
+	"darklight/internal/lemma"
+	"darklight/internal/tokenize"
+)
+
+// Config selects the feature-space shape. Table II of the paper defines two
+// instances: the space-reduction configuration and the final (second-stage)
+// configuration.
+type Config struct {
+	// WordMin..WordMax are the word n-gram orders (paper: 1..3).
+	WordMin, WordMax int
+	// CharMin..CharMax are the character n-gram orders (paper: 1..5).
+	CharMin, CharMax int
+	// MaxWordGrams is the vocabulary budget for word n-grams
+	// (paper: 60,000 reduction / 50,000 final).
+	MaxWordGrams int
+	// MaxCharGrams is the vocabulary budget for char n-grams
+	// (paper: 30,000 reduction / 15,000 final).
+	MaxCharGrams int
+	// Lemmatize runs the lemmatiser before word n-gram extraction.
+	Lemmatize bool
+	// IncludeFreq adds the 42 punctuation/digit/special-char frequency
+	// dimensions (11 + 10 + 21, Table II).
+	IncludeFreq bool
+}
+
+// ReductionConfig returns the Table II "Space Reduction" column.
+func ReductionConfig() Config {
+	return Config{
+		WordMin: 1, WordMax: 3,
+		CharMin: 1, CharMax: 5,
+		MaxWordGrams: 60000,
+		MaxCharGrams: 30000,
+		Lemmatize:    true,
+		IncludeFreq:  true,
+	}
+}
+
+// FinalConfig returns the Table II "Final" column, used when rescoring the
+// k candidates.
+func FinalConfig() Config {
+	cfg := ReductionConfig()
+	cfg.MaxWordGrams = 50000
+	cfg.MaxCharGrams = 15000
+	return cfg
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.WordMin < 1 || c.WordMax < c.WordMin:
+		return fmt.Errorf("features: invalid word n-gram range [%d,%d]", c.WordMin, c.WordMax)
+	case c.CharMin < 1 || c.CharMax < c.CharMin:
+		return fmt.Errorf("features: invalid char n-gram range [%d,%d]", c.CharMin, c.CharMax)
+	case c.MaxWordGrams < 0 || c.MaxCharGrams < 0:
+		return fmt.Errorf("features: negative vocabulary budget")
+	}
+	return nil
+}
+
+// Frequency feature character sets (Table II: 11 punctuation marks, 10
+// digits, 21 special characters).
+const (
+	punctChars   = `.,:;!?'"-()`
+	digitChars   = "0123456789"
+	specialChars = "@#$%^&*+=/\\|<>[]{}~`_"
+)
+
+// NumFreqFeatures is the number of frequency dimensions (11 + 10 + 21).
+const NumFreqFeatures = len(punctChars) + len(digitChars) + len(specialChars)
+
+// FreqFeatureNames returns a label per frequency dimension, for reports.
+func FreqFeatureNames() []string {
+	names := make([]string, 0, NumFreqFeatures)
+	for _, c := range punctChars {
+		names = append(names, "punct:"+string(c))
+	}
+	for _, c := range digitChars {
+		names = append(names, "digit:"+string(c))
+	}
+	for _, c := range specialChars {
+		names = append(names, "special:"+string(c))
+	}
+	return names
+}
+
+// GramID is the 64-bit hash identifying one n-gram.
+type GramID uint64
+
+// HashGram returns the feature id of a gram given as a string. Exposed for
+// tests and for tools that need to look up a specific gram.
+func HashGram(s string) GramID {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return GramID(h)
+}
+
+// Doc holds the raw feature counts of one document (the concatenated text
+// of one alias). Docs are transient: build them, feed them to a
+// VocabBuilder or Vectorize them, then let them go.
+type Doc struct {
+	WordGrams  map[GramID]int
+	CharGrams  map[GramID]int
+	WordTotal  int
+	CharTotal  int
+	Freq       [NumFreqFeatures]float64
+	TotalChars int
+}
+
+// Extract computes all raw feature counts for one text under cfg.
+func Extract(text string, cfg Config) *Doc {
+	d := &Doc{
+		WordGrams: make(map[GramID]int, 1024),
+		CharGrams: make(map[GramID]int, 4096),
+	}
+	words := tokenize.Words(text)
+	if cfg.Lemmatize {
+		words = lemma.LemmatizeAll(words)
+	}
+	// Pre-hash every word once; n-grams chain the hashes.
+	wordHashes := make([]uint64, len(words))
+	for i, w := range words {
+		wordHashes[i] = uint64(HashGram(w))
+	}
+	for n := cfg.WordMin; n <= cfg.WordMax; n++ {
+		countWordGrams(d.WordGrams, wordHashes, n, &d.WordTotal)
+	}
+	for n := cfg.CharMin; n <= cfg.CharMax; n++ {
+		countCharGrams(d.CharGrams, text, n, &d.CharTotal)
+	}
+	if cfg.IncludeFreq {
+		extractFreq(text, &d.Freq, &d.TotalChars)
+	}
+	return d
+}
+
+// mix combines two 64-bit hashes order-sensitively (an n-gram is a
+// sequence, not a set).
+func mix(a, b uint64) uint64 {
+	a ^= b + 0x9e3779b97f4a7c15 + (a << 6) + (a >> 2)
+	a *= 0xff51afd7ed558ccd
+	return a ^ (a >> 33)
+}
+
+// countWordGrams counts word n-grams by chaining pre-computed word hashes.
+func countWordGrams(into map[GramID]int, wordHashes []uint64, n int, total *int) {
+	if len(wordHashes) < n {
+		return
+	}
+	for i := 0; i+n <= len(wordHashes); i++ {
+		h := wordHashes[i]
+		for j := 1; j < n; j++ {
+			h = mix(h, wordHashes[i+j])
+		}
+		into[GramID(h)]++
+		*total++
+	}
+}
+
+// countCharGrams counts rune n-grams using a rolling ring of rune start
+// offsets: each gram is hashed directly from the original string slice —
+// no []rune materialisation, no per-gram allocation. Ranging over a string
+// yields rune start offsets, so a window of the last n starts identifies
+// each gram's byte range.
+func countCharGrams(into map[GramID]int, text string, n int, total *int) {
+	const maxN = 16
+	if n < 1 || n > maxN {
+		return
+	}
+	var ring [maxN]int
+	runeCount := 0
+	for i := range text {
+		if runeCount >= n {
+			start := ring[runeCount%n] // offset of the rune n positions back
+			into[GramID(hashBytes(text[start:i]))]++
+			*total++
+		}
+		ring[runeCount%n] = i
+		runeCount++
+	}
+	if runeCount >= n {
+		start := ring[runeCount%n]
+		into[GramID(hashBytes(text[start:]))]++
+		*total++
+	}
+}
+
+func hashBytes(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func extractFreq(text string, freq *[NumFreqFeatures]float64, totalChars *int) {
+	var counts [128]int
+	total := 0
+	for _, r := range text {
+		if r < 128 {
+			counts[r]++
+		}
+		total++
+	}
+	*totalChars = total
+	if total == 0 {
+		return
+	}
+	i := 0
+	for _, set := range []string{punctChars, digitChars, specialChars} {
+		for _, c := range set {
+			freq[i] = float64(counts[c]) / float64(total)
+			i++
+		}
+	}
+}
+
+// WordGramID returns the id of a multi-word gram the way countWordGrams
+// hashes it, for callers that need to query a specific word sequence: the
+// id of the bigram "not sure" is WordGramID("not", "sure"). Words are
+// lowercased but not lemmatised — pass lemmas when the config lemmatises.
+func WordGramID(words ...string) GramID {
+	if len(words) == 0 {
+		return 0
+	}
+	h := uint64(HashGram(strings.ToLower(words[0])))
+	for _, w := range words[1:] {
+		h = mix(h, uint64(HashGram(strings.ToLower(w))))
+	}
+	return GramID(h)
+}

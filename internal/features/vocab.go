@@ -1,0 +1,224 @@
+package features
+
+import (
+	"math"
+	"sort"
+
+	"darklight/internal/sparse"
+)
+
+// VocabBuilder accumulates corpus-wide n-gram statistics over a stream of
+// Docs, then freezes a Vocabulary: the top-N word grams and top-N char
+// grams by total corpus frequency (§IV-A: "we order the n-grams by their
+// frequency across the dataset [and] select the top N features").
+type VocabBuilder struct {
+	cfg      Config
+	wordFreq map[GramID]int
+	charFreq map[GramID]int
+	wordDF   map[GramID]int
+	charDF   map[GramID]int
+	numDocs  int
+	freqSeen [NumFreqFeatures]int
+}
+
+// NewVocabBuilder returns a builder for the given configuration.
+func NewVocabBuilder(cfg Config) *VocabBuilder {
+	return &VocabBuilder{
+		cfg:      cfg,
+		wordFreq: make(map[GramID]int),
+		charFreq: make(map[GramID]int),
+		wordDF:   make(map[GramID]int),
+		charDF:   make(map[GramID]int),
+	}
+}
+
+// Add folds one document's counts into the corpus statistics. The doc can
+// be discarded afterwards.
+func (b *VocabBuilder) Add(d *Doc) {
+	b.numDocs++
+	for g, c := range d.WordGrams {
+		b.wordFreq[g] += c
+		b.wordDF[g]++
+	}
+	for g, c := range d.CharGrams {
+		b.charFreq[g] += c
+		b.charDF[g]++
+	}
+	for i, f := range d.Freq {
+		if f > 0 {
+			b.freqSeen[i]++
+		}
+	}
+}
+
+// NumDocs returns the number of documents added so far.
+func (b *VocabBuilder) NumDocs() int { return b.numDocs }
+
+// Build freezes the vocabulary. The builder can keep accumulating and be
+// rebuilt; Build itself does not mutate the builder.
+func (b *VocabBuilder) Build() *Vocabulary {
+	words := topN(b.wordFreq, b.cfg.MaxWordGrams)
+	chars := topN(b.charFreq, b.cfg.MaxCharGrams)
+
+	v := &Vocabulary{
+		cfg:       b.cfg,
+		wordIndex: make(map[GramID]uint32, len(words)),
+		charIndex: make(map[GramID]uint32, len(chars)),
+		wordIDF:   make([]float64, len(words)),
+		charIDF:   make([]float64, len(chars)),
+		numDocs:   b.numDocs,
+	}
+	n := float64(b.numDocs)
+	for i, g := range words {
+		v.wordIndex[g] = uint32(i)
+		v.wordIDF[i] = idf(n, float64(b.wordDF[g]))
+	}
+	base := uint32(len(words))
+	for i, g := range chars {
+		v.charIndex[g] = base + uint32(i)
+		v.charIDF[i] = idf(n, float64(b.charDF[g]))
+	}
+	return v
+}
+
+// idf is the smoothed inverse document frequency: ln((1+N)/(1+df)).
+// Corpus-universal grams (df = N) weigh ≈ 0, which is what makes TF-IDF
+// discriminate: without it the high-frequency function-word grams dominate
+// every vector's norm and all users look alike (§IV-A: TF-IDF "gives more
+// importance to features that are frequently used by only one user and
+// less importance to popular features such as stop-words").
+func idf(n, df float64) float64 {
+	return math.Log((1 + n) / (1 + df))
+}
+
+// topN returns the n highest-frequency grams, ties broken by gram id so
+// vocabulary construction is deterministic.
+func topN(freq map[GramID]int, n int) []GramID {
+	grams := make([]GramID, 0, len(freq))
+	for g := range freq {
+		grams = append(grams, g)
+	}
+	sort.Slice(grams, func(i, j int) bool {
+		fi, fj := freq[grams[i]], freq[grams[j]]
+		if fi != fj {
+			return fi > fj
+		}
+		return grams[i] < grams[j]
+	})
+	if n >= 0 && len(grams) > n {
+		grams = grams[:n]
+	}
+	return grams
+}
+
+// Vocabulary maps n-grams to feature indices and carries the IDF weights.
+// Immutable after Build; safe for concurrent use.
+//
+// Index layout (dense, no gaps):
+//
+//	[0, W)                word n-grams, by descending corpus frequency
+//	[W, W+C)              char n-grams
+//	[W+C, W+C+42)         frequency features (punct, digits, specials)
+//	[W+C+42, W+C+42+24)   reserved for the daily activity profile,
+//	                      appended by the attribution layer
+type Vocabulary struct {
+	cfg       Config
+	wordIndex map[GramID]uint32
+	charIndex map[GramID]uint32
+	wordIDF   []float64
+	charIDF   []float64
+	numDocs   int
+}
+
+// NumWordGrams returns the size of the word-gram section.
+func (v *Vocabulary) NumWordGrams() int { return len(v.wordIndex) }
+
+// NumCharGrams returns the size of the char-gram section.
+func (v *Vocabulary) NumCharGrams() int { return len(v.charIndex) }
+
+// NumDocs returns the corpus size the vocabulary was built from.
+func (v *Vocabulary) NumDocs() int { return v.numDocs }
+
+// FreqOffset is the index of the first frequency feature.
+func (v *Vocabulary) FreqOffset() uint32 {
+	return uint32(len(v.wordIndex) + len(v.charIndex))
+}
+
+// ActivityOffset is the index of the first daily-activity dimension.
+func (v *Vocabulary) ActivityOffset() uint32 {
+	off := v.FreqOffset()
+	if v.cfg.IncludeFreq {
+		off += uint32(NumFreqFeatures)
+	}
+	return off
+}
+
+// Dims is the total dimensionality including the 24 activity slots.
+func (v *Vocabulary) Dims() int { return int(v.ActivityOffset()) + 24 }
+
+// Vectorize converts a document into a TF-IDF weighted sparse vector in
+// this vocabulary's index space. Grams outside the vocabulary are ignored.
+// Term frequency is the gram count normalised by the document's total gram
+// count of the same family, so documents of different lengths remain
+// comparable.
+func (v *Vocabulary) Vectorize(d *Doc) sparse.Vector {
+	est := len(d.WordGrams) + len(d.CharGrams) + NumFreqFeatures
+	vec := sparse.Vector{
+		Idx: make([]uint32, 0, est),
+		Val: make([]float64, 0, est),
+	}
+	wordDen := float64(max(d.WordTotal, 1))
+	for g, c := range d.WordGrams {
+		if i, ok := v.wordIndex[g]; ok {
+			vec.Idx = append(vec.Idx, i)
+			vec.Val = append(vec.Val, float64(c)/wordDen*v.wordIDF[i])
+		}
+	}
+	charDen := float64(max(d.CharTotal, 1))
+	base := uint32(len(v.wordIndex))
+	for g, c := range d.CharGrams {
+		if i, ok := v.charIndex[g]; ok {
+			vec.Idx = append(vec.Idx, i)
+			vec.Val = append(vec.Val, float64(c)/charDen*v.charIDF[i-base])
+		}
+	}
+	if v.cfg.IncludeFreq {
+		off := v.FreqOffset()
+		for i, f := range d.Freq {
+			if f != 0 {
+				vec.Idx = append(vec.Idx, off+uint32(i))
+				vec.Val = append(vec.Val, f)
+			}
+		}
+	}
+	vec.Sort()
+	return vec
+}
+
+// VectorizeGrams is Vectorize restricted to the n-gram sections — the
+// frequency features are omitted. The attribution layer keeps frequency
+// and activity blocks separate so it can re-weight them at query time.
+func (v *Vocabulary) VectorizeGrams(d *Doc) sparse.Vector {
+	est := len(d.WordGrams) + len(d.CharGrams)
+	vec := sparse.Vector{
+		Idx: make([]uint32, 0, est),
+		Val: make([]float64, 0, est),
+	}
+	wordDen := float64(max(d.WordTotal, 1))
+	for g, c := range d.WordGrams {
+		if i, ok := v.wordIndex[g]; ok {
+			vec.Idx = append(vec.Idx, i)
+			vec.Val = append(vec.Val, float64(c)/wordDen*v.wordIDF[i])
+		}
+	}
+	charDen := float64(max(d.CharTotal, 1))
+	base := uint32(len(v.wordIndex))
+	for g, c := range d.CharGrams {
+		if i, ok := v.charIndex[g]; ok {
+			vec.Idx = append(vec.Idx, i)
+			vec.Val = append(vec.Val, float64(c)/charDen*v.charIDF[i-base])
+		}
+	}
+	vec.Sort()
+	return vec
+}

@@ -1,0 +1,303 @@
+// Package forum defines the data model shared by every stage of the
+// darklight pipeline: messages, aliases, and datasets collected from (or
+// generated to stand in for) web forums.
+//
+// The model is intentionally minimal — the linking methodology of the paper
+// consumes only (alias, message text, timestamp) triples plus the forum and
+// board the message was posted on. Everything else (votes, threads, user
+// profiles) is irrelevant to attribution and is not modelled.
+package forum
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+	"unicode"
+)
+
+// Platform identifies the kind of site a dataset was collected from.
+type Platform int
+
+// Platforms under study. Reddit is the "open web" platform; TheMajesticGarden
+// and DreamMarket are the two Dark Web forums of the paper. Synthetic marks
+// generated corpora that do not correspond to a concrete site.
+const (
+	PlatformUnknown Platform = iota
+	PlatformReddit
+	PlatformTheMajesticGarden
+	PlatformDreamMarket
+	PlatformSynthetic
+)
+
+var platformNames = map[Platform]string{
+	PlatformUnknown:           "unknown",
+	PlatformReddit:            "reddit",
+	PlatformTheMajesticGarden: "tmg",
+	PlatformDreamMarket:       "dm",
+	PlatformSynthetic:         "synthetic",
+}
+
+// String returns the short lowercase name used in dataset files and CLIs.
+func (p Platform) String() string {
+	if s, ok := platformNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("platform(%d)", int(p))
+}
+
+// ParsePlatform converts a short name back into a Platform.
+func ParsePlatform(s string) (Platform, error) {
+	for p, name := range platformNames {
+		if name == s {
+			return p, nil
+		}
+	}
+	return PlatformUnknown, fmt.Errorf("forum: unknown platform %q", s)
+}
+
+// Message is a single forum post by one alias.
+type Message struct {
+	// ID is unique within a dataset. Synthetic generators and scrapers are
+	// responsible for assigning it.
+	ID string `json:"id"`
+	// Author is the alias (nickname) that posted the message.
+	Author string `json:"author"`
+	// Board is the sub-community: a subreddit on Reddit, a section on a
+	// Dark Web forum.
+	Board string `json:"board,omitempty"`
+	// Thread groups messages of one discussion.
+	Thread string `json:"thread,omitempty"`
+	// Body is the raw text as collected. The normalize package produces the
+	// polished form; Body is never mutated in place.
+	Body string `json:"body"`
+	// PostedAt is the post time. Scrapers record the forum-local time; the
+	// activity package aligns everything to UTC before binning.
+	PostedAt time.Time `json:"posted_at"`
+	// Quoted is any quoted text that the platform marks explicitly
+	// (e.g. "> ..." on Reddit). Kept separate so cleaning can verify its
+	// removal.
+	Quoted string `json:"quoted,omitempty"`
+}
+
+// WordCount counts whitespace-separated tokens in the body. It is the word
+// metric used by every threshold in the paper (≥10-word messages, ≥1,500
+// words per alias, ≥3,000 words for alter-ego sources).
+func (m *Message) WordCount() int {
+	return len(strings.Fields(m.Body))
+}
+
+// DistinctWordRatio returns the number of distinct (case-folded) words over
+// the total number of words. The polishing step 6 of the paper discards
+// messages with a ratio below 0.5 as spam. A message with no words has
+// ratio 0.
+func (m *Message) DistinctWordRatio() float64 {
+	fields := strings.Fields(m.Body)
+	if len(fields) == 0 {
+		return 0
+	}
+	seen := make(map[string]struct{}, len(fields))
+	for _, f := range fields {
+		seen[strings.ToLower(f)] = struct{}{}
+	}
+	return float64(len(seen)) / float64(len(fields))
+}
+
+// Alias is one account on one platform together with everything it posted.
+type Alias struct {
+	// Name is the nickname as it appears on the platform.
+	Name string `json:"name"`
+	// Platform the alias belongs to.
+	Platform Platform `json:"platform"`
+	// Messages posted by this alias, in no particular order unless a
+	// pipeline stage documents otherwise.
+	Messages []Message `json:"messages"`
+}
+
+// Key returns the globally unique identifier "platform/name" for the alias.
+func (a *Alias) Key() string { return a.Platform.String() + "/" + a.Name }
+
+// TotalWords sums the word counts of all messages.
+func (a *Alias) TotalWords() int {
+	total := 0
+	for i := range a.Messages {
+		total += a.Messages[i].WordCount()
+	}
+	return total
+}
+
+// Timestamps returns the posting times of all messages, in message order.
+func (a *Alias) Timestamps() []time.Time {
+	ts := make([]time.Time, len(a.Messages))
+	for i := range a.Messages {
+		ts[i] = a.Messages[i].PostedAt
+	}
+	return ts
+}
+
+// Text concatenates all message bodies separated by newlines. Stages that
+// need a bounded amount of text should use corpus.SelectWords instead.
+func (a *Alias) Text() string {
+	var b strings.Builder
+	for i := range a.Messages {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(a.Messages[i].Body)
+	}
+	return b.String()
+}
+
+// SortMessagesByLengthDesc orders messages from the longest (in words) to
+// the shortest, breaking ties by ID for determinism. The paper selects
+// messages longest-first when truncating an alias to 1,500 words.
+func (a *Alias) SortMessagesByLengthDesc() {
+	sort.SliceStable(a.Messages, func(i, j int) bool {
+		wi, wj := a.Messages[i].WordCount(), a.Messages[j].WordCount()
+		if wi != wj {
+			return wi > wj
+		}
+		return a.Messages[i].ID < a.Messages[j].ID
+	})
+}
+
+// IsLikelyBot reports whether the alias name starts or ends with "bot"
+// (case-insensitive), the heuristic of polishing step 1. Trailing digits are
+// ignored so that "tipbot3000" is caught too.
+func (a *Alias) IsLikelyBot() bool {
+	name := strings.ToLower(a.Name)
+	trimmed := strings.TrimRightFunc(name, unicode.IsDigit)
+	return strings.HasPrefix(name, "bot") || strings.HasSuffix(trimmed, "bot")
+}
+
+// Dataset is a named collection of aliases from one platform.
+type Dataset struct {
+	// Name labels the dataset ("Reddit", "AE_Reddit", "TMG", ...).
+	Name string `json:"name"`
+	// Platform all aliases belong to.
+	Platform Platform `json:"platform"`
+	// Aliases in the dataset.
+	Aliases []Alias `json:"aliases"`
+}
+
+// NewDataset returns an empty dataset with the given name and platform.
+func NewDataset(name string, p Platform) *Dataset {
+	return &Dataset{Name: name, Platform: p}
+}
+
+// Len returns the number of aliases.
+func (d *Dataset) Len() int { return len(d.Aliases) }
+
+// TotalMessages counts messages across all aliases.
+func (d *Dataset) TotalMessages() int {
+	total := 0
+	for i := range d.Aliases {
+		total += len(d.Aliases[i].Messages)
+	}
+	return total
+}
+
+// TotalWords counts words across all aliases.
+func (d *Dataset) TotalWords() int {
+	total := 0
+	for i := range d.Aliases {
+		total += d.Aliases[i].TotalWords()
+	}
+	return total
+}
+
+// Add appends an alias. The alias platform is forced to the dataset's.
+func (d *Dataset) Add(a Alias) {
+	a.Platform = d.Platform
+	d.Aliases = append(d.Aliases, a)
+}
+
+// ErrAliasNotFound is returned by Find when no alias has the given name.
+var ErrAliasNotFound = errors.New("forum: alias not found")
+
+// Find returns a pointer to the alias with the given name.
+func (d *Dataset) Find(name string) (*Alias, error) {
+	for i := range d.Aliases {
+		if d.Aliases[i].Name == name {
+			return &d.Aliases[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q in %s", ErrAliasNotFound, name, d.Name)
+}
+
+// Names returns the alias names in dataset order.
+func (d *Dataset) Names() []string {
+	names := make([]string, len(d.Aliases))
+	for i := range d.Aliases {
+		names[i] = d.Aliases[i].Name
+	}
+	return names
+}
+
+// SortByName orders aliases lexicographically, for deterministic iteration.
+func (d *Dataset) SortByName() {
+	sort.Slice(d.Aliases, func(i, j int) bool {
+		return d.Aliases[i].Name < d.Aliases[j].Name
+	})
+}
+
+// Filter returns a new dataset containing only the aliases accepted by keep.
+// Message slices are shared with the original dataset.
+func (d *Dataset) Filter(keep func(*Alias) bool) *Dataset {
+	out := NewDataset(d.Name, d.Platform)
+	for i := range d.Aliases {
+		if keep(&d.Aliases[i]) {
+			out.Aliases = append(out.Aliases, d.Aliases[i])
+		}
+	}
+	return out
+}
+
+// Merge returns a new dataset with the aliases of both inputs. The paper
+// merges TMG with DM into "DarkWeb" for the §IV-G experiment. Every alias
+// is renamed to "name@platform" so that (a) names stay unique across
+// inputs and (b) merging a dataset and separately merging its alter-ego
+// split yields consistent names — name-equality ground truth survives the
+// merge.
+func Merge(name string, p Platform, datasets ...*Dataset) *Dataset {
+	out := NewDataset(name, p)
+	for _, d := range datasets {
+		for i := range d.Aliases {
+			a := d.Aliases[i]
+			a.Name = a.Name + "@" + a.Platform.String()
+			a.Platform = p
+			out.Aliases = append(out.Aliases, a)
+		}
+	}
+	return out
+}
+
+// HashNickname returns a stable hex digest of a nickname. Mirrors the
+// ethics handling of §VII: stored datasets never contain raw nicknames.
+func HashNickname(name string) string {
+	sum := sha256.Sum256([]byte("darklight:" + name))
+	return hex.EncodeToString(sum[:8])
+}
+
+// Anonymize returns a copy of the dataset with every author nickname
+// replaced by its hash. The mapping is returned so an operator holding the
+// original data can invert it.
+func (d *Dataset) Anonymize() (*Dataset, map[string]string) {
+	mapping := make(map[string]string, len(d.Aliases))
+	out := NewDataset(d.Name, d.Platform)
+	for i := range d.Aliases {
+		orig := d.Aliases[i]
+		h := HashNickname(orig.Name)
+		mapping[h] = orig.Name
+		msgs := make([]Message, len(orig.Messages))
+		copy(msgs, orig.Messages)
+		for j := range msgs {
+			msgs[j].Author = h
+		}
+		out.Aliases = append(out.Aliases, Alias{Name: h, Platform: orig.Platform, Messages: msgs})
+	}
+	return out, mapping
+}

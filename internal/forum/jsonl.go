@@ -1,0 +1,70 @@
+package forum
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The on-disk format is JSON Lines: one Message object per line. Aliases
+// are reconstructed by grouping on the Author field. JSONL keeps datasets
+// streamable — a scraper can append while an analysis job reads.
+
+// WriteJSONL writes every message of the dataset, one JSON object per line.
+// Messages are written alias by alias in dataset order.
+func WriteJSONL(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range d.Aliases {
+		for j := range d.Aliases[i].Messages {
+			msg := d.Aliases[i].Messages[j]
+			if msg.Author == "" {
+				msg.Author = d.Aliases[i].Name
+			}
+			if err := enc.Encode(&msg); err != nil {
+				return fmt.Errorf("forum: encode message %s: %w", msg.ID, err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads messages from r and groups them into aliases. The dataset
+// is given the provided name and platform. Aliases come out sorted by name
+// so reads are deterministic regardless of input order.
+func ReadJSONL(r io.Reader, name string, p Platform) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22) // messages can be long (PGP blocks)
+	byAuthor := make(map[string][]Message)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var m Message
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return nil, fmt.Errorf("forum: line %d: %w", line, err)
+		}
+		if m.Author == "" {
+			return nil, fmt.Errorf("forum: line %d: message %q has no author", line, m.ID)
+		}
+		byAuthor[m.Author] = append(byAuthor[m.Author], m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("forum: scan: %w", err)
+	}
+	names := make([]string, 0, len(byAuthor))
+	for a := range byAuthor {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	d := NewDataset(name, p)
+	for _, a := range names {
+		d.Aliases = append(d.Aliases, Alias{Name: a, Platform: p, Messages: byAuthor[a]})
+	}
+	return d, nil
+}

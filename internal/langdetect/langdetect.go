@@ -1,0 +1,202 @@
+// Package langdetect identifies the language of short forum messages.
+// Polishing step 7 of the paper keeps only English messages; the original
+// work used the Python langdetect port of Google's language-detection
+// library. This package implements the same idea — a character-n-gram
+// naive-Bayes classifier over per-language profiles — with profiles
+// trained from embedded seed corpora for eight languages.
+package langdetect
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"unicode"
+)
+
+// Lang is an ISO-639-1 language code.
+type Lang string
+
+// Languages with embedded profiles.
+const (
+	English    Lang = "en"
+	Spanish    Lang = "es"
+	French     Lang = "fr"
+	German     Lang = "de"
+	Italian    Lang = "it"
+	Portuguese Lang = "pt"
+	Dutch      Lang = "nl"
+	Romanian   Lang = "ro"
+)
+
+// Detection is a scored language guess.
+type Detection struct {
+	Lang Lang
+	// Prob is the normalised posterior across the candidate languages.
+	Prob float64
+}
+
+// Detector scores text against per-language n-gram profiles. It is safe
+// for concurrent use after construction.
+type Detector struct {
+	profiles map[Lang]*profile
+	ngram    int
+}
+
+type profile struct {
+	logProb  map[string]float64
+	floorLog float64 // log-probability assigned to unseen n-grams
+}
+
+const defaultNGram = 3
+
+var (
+	defaultOnce     sync.Once
+	defaultDetector *Detector
+)
+
+// Default returns the process-wide detector built from the embedded seed
+// corpora. Building is done once, lazily.
+func Default() *Detector {
+	defaultOnce.Do(func() {
+		defaultDetector = NewDetector(seedCorpora())
+	})
+	return defaultDetector
+}
+
+// NewDetector trains a detector from raw text per language.
+func NewDetector(corpora map[Lang]string) *Detector {
+	d := &Detector{profiles: make(map[Lang]*profile, len(corpora)), ngram: defaultNGram}
+	for lang, text := range corpora {
+		d.profiles[lang] = trainProfile(text, d.ngram)
+	}
+	return d
+}
+
+func trainProfile(text string, n int) *profile {
+	counts := make(map[string]int)
+	total := 0
+	for _, gram := range ngrams(normalize(text), n) {
+		counts[gram]++
+		total++
+	}
+	// Laplace smoothing with vocabulary = observed grams + 1 slot for unseen.
+	vocab := len(counts) + 1
+	p := &profile{logProb: make(map[string]float64, len(counts))}
+	denom := float64(total + vocab)
+	for gram, c := range counts {
+		p.logProb[gram] = math.Log(float64(c+1) / denom)
+	}
+	p.floorLog = math.Log(1 / denom)
+	return p
+}
+
+// normalize lowercases, collapses whitespace to single spaces, and drops
+// digits and symbols — the signal is in letters and word shapes.
+func normalize(text string) string {
+	var b strings.Builder
+	b.Grow(len(text))
+	lastSpace := true
+	for _, r := range strings.ToLower(text) {
+		switch {
+		case unicode.IsLetter(r) || r == '\'':
+			b.WriteRune(r)
+			lastSpace = false
+		default:
+			if !lastSpace {
+				b.WriteByte(' ')
+				lastSpace = true
+			}
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+func ngrams(s string, n int) []string {
+	runes := []rune(" " + s + " ")
+	if len(runes) < n {
+		return nil
+	}
+	out := make([]string, 0, len(runes)-n+1)
+	for i := 0; i+n <= len(runes); i++ {
+		out = append(out, string(runes[i:i+n]))
+	}
+	return out
+}
+
+// Detect returns language guesses ordered by posterior probability.
+// Empty or letter-free text yields no detections.
+func (d *Detector) Detect(text string) []Detection {
+	grams := ngrams(normalize(text), d.ngram)
+	if len(grams) == 0 {
+		return nil
+	}
+	type scored struct {
+		lang Lang
+		ll   float64
+	}
+	scores := make([]scored, 0, len(d.profiles))
+	for lang, p := range d.profiles {
+		ll := 0.0
+		for _, g := range grams {
+			if lp, ok := p.logProb[g]; ok {
+				ll += lp
+			} else {
+				ll += p.floorLog
+			}
+		}
+		// Length-normalise so long messages don't overflow and short ones
+		// remain comparable.
+		scores = append(scores, scored{lang, ll / float64(len(grams))})
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].ll != scores[j].ll {
+			return scores[i].ll > scores[j].ll
+		}
+		return scores[i].lang < scores[j].lang
+	})
+	// Softmax over per-gram average log-likelihoods. The temperature
+	// sharpens the distribution; per-gram averages are close together so
+	// raw softmax would be nearly uniform.
+	const temperature = 0.05
+	best := scores[0].ll
+	sum := 0.0
+	probs := make([]float64, len(scores))
+	for i, s := range scores {
+		probs[i] = math.Exp((s.ll - best) / temperature)
+		sum += probs[i]
+	}
+	out := make([]Detection, len(scores))
+	for i, s := range scores {
+		out[i] = Detection{Lang: s.lang, Prob: probs[i] / sum}
+	}
+	return out
+}
+
+// DetectLang returns the single most likely language and its posterior.
+// ok is false when the text carries no usable signal.
+func (d *Detector) DetectLang(text string) (Lang, float64, bool) {
+	ds := d.Detect(text)
+	if len(ds) == 0 {
+		return "", 0, false
+	}
+	return ds[0].Lang, ds[0].Prob, true
+}
+
+// IsEnglish reports whether text is detected as English with posterior at
+// least minProb. Messages with no signal are treated as non-English, which
+// matches the conservative filtering of the paper's polishing step.
+func (d *Detector) IsEnglish(text string, minProb float64) bool {
+	lang, prob, ok := d.DetectLang(text)
+	return ok && lang == English && prob >= minProb
+}
+
+// Languages returns the languages the detector was trained on, sorted.
+func (d *Detector) Languages() []Lang {
+	out := make([]Lang, 0, len(d.profiles))
+	for l := range d.profiles {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

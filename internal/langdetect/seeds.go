@@ -1,0 +1,167 @@
+package langdetect
+
+// seedCorpora returns the embedded training text per language. The texts
+// are generic encyclopedic prose — what matters is the character-trigram
+// distribution of each language, not the topic. Each corpus mixes formal
+// and informal register so the profiles generalise to forum writing.
+func seedCorpora() map[Lang]string {
+	return map[Lang]string{
+		English: `The quick brown fox jumps over the lazy dog while the sun
+sets behind the mountains. People often write messages on forums to share
+their experiences and ask questions about things they do not understand.
+Language is a structured system of communication used by humans, and every
+language has its own grammar, vocabulary, and patterns of sound or gesture.
+I think that we should meet tomorrow because there is something important
+that I want to tell you about the project we have been working on together.
+When you buy something online, you should always check the reviews that
+other customers have written before you make a decision about the purchase.
+The weather today was really nice, so we went for a long walk in the park
+and then had coffee at the little shop around the corner from my house.
+It is not always easy to know whether something you read on the internet is
+true, which is why you should look for several independent sources. Many
+users of this website have been members for years and they know each other
+quite well, although they have never met in person. Thanks for the help,
+this was exactly what I was looking for and it worked perfectly the first
+time I tried it. Honestly I would not recommend this vendor because the
+shipping took forever and the quality was much worse than advertised. What
+do you all think about the new update? It seems faster but some features
+are missing. Please read the rules before posting anything in this section
+of the forum, and remember to be respectful to the other members of the
+community at all times. There are a lot of good reasons to learn another
+language, and one of them is that it opens your mind to different ways of
+thinking about the world.`,
+
+		Spanish: `El rápido zorro marrón salta sobre el perro perezoso
+mientras el sol se pone detrás de las montañas. La gente suele escribir
+mensajes en los foros para compartir sus experiencias y hacer preguntas
+sobre cosas que no entiende. El idioma es un sistema estructurado de
+comunicación utilizado por los seres humanos, y cada lengua tiene su propia
+gramática, vocabulario y patrones de sonido. Creo que deberíamos vernos
+mañana porque hay algo importante que quiero contarte sobre el proyecto en
+el que hemos estado trabajando juntos. Cuando compras algo por internet,
+siempre debes revisar las opiniones que otros clientes han escrito antes de
+tomar una decisión sobre la compra. El tiempo hoy estaba muy agradable, así
+que salimos a dar un largo paseo por el parque y luego tomamos café en la
+pequeña tienda que está cerca de mi casa. No siempre es fácil saber si algo
+que lees en internet es verdad, por eso debes buscar varias fuentes
+independientes. Muchos usuarios de este sitio llevan años siendo miembros y
+se conocen bastante bien, aunque nunca se han visto en persona. Gracias por
+la ayuda, esto era exactamente lo que estaba buscando y funcionó
+perfectamente la primera vez que lo intenté. Por favor, lee las reglas
+antes de publicar cualquier cosa en esta sección del foro y recuerda ser
+respetuoso con los demás miembros de la comunidad en todo momento.`,
+
+		French: `Le rapide renard brun saute par-dessus le chien paresseux
+pendant que le soleil se couche derrière les montagnes. Les gens écrivent
+souvent des messages sur les forums pour partager leurs expériences et
+poser des questions sur des choses qu'ils ne comprennent pas. La langue est
+un système structuré de communication utilisé par les êtres humains, et
+chaque langue possède sa propre grammaire, son vocabulaire et ses modèles
+sonores. Je pense que nous devrions nous voir demain parce qu'il y a
+quelque chose d'important que je veux te dire au sujet du projet sur lequel
+nous travaillons ensemble. Quand tu achètes quelque chose en ligne, tu
+devrais toujours vérifier les avis que les autres clients ont écrits avant
+de prendre une décision. Le temps était vraiment agréable aujourd'hui,
+alors nous sommes allés faire une longue promenade dans le parc et ensuite
+nous avons pris un café dans le petit magasin près de chez moi. Il n'est
+pas toujours facile de savoir si ce que l'on lit sur internet est vrai,
+c'est pourquoi il faut chercher plusieurs sources indépendantes. Merci pour
+l'aide, c'était exactement ce que je cherchais et cela a fonctionné
+parfaitement du premier coup. Veuillez lire les règles avant de publier
+quoi que ce soit dans cette section du forum et n'oubliez pas de rester
+respectueux envers les autres membres de la communauté.`,
+
+		German: `Der schnelle braune Fuchs springt über den faulen Hund,
+während die Sonne hinter den Bergen untergeht. Die Leute schreiben oft
+Nachrichten in Foren, um ihre Erfahrungen zu teilen und Fragen zu Dingen zu
+stellen, die sie nicht verstehen. Sprache ist ein strukturiertes System der
+Kommunikation, das von Menschen verwendet wird, und jede Sprache hat ihre
+eigene Grammatik, ihren Wortschatz und ihre Lautmuster. Ich denke, dass wir
+uns morgen treffen sollten, weil es etwas Wichtiges gibt, das ich dir über
+das Projekt erzählen möchte, an dem wir zusammen gearbeitet haben. Wenn du
+etwas im Internet kaufst, solltest du immer die Bewertungen lesen, die
+andere Kunden geschrieben haben, bevor du eine Entscheidung triffst. Das
+Wetter war heute wirklich schön, also sind wir lange im Park spazieren
+gegangen und haben danach in dem kleinen Laden um die Ecke Kaffee
+getrunken. Es ist nicht immer leicht zu wissen, ob etwas, das man im
+Internet liest, wahr ist, deshalb sollte man mehrere unabhängige Quellen
+suchen. Danke für die Hilfe, das war genau das, wonach ich gesucht habe,
+und es hat beim ersten Versuch perfekt funktioniert. Bitte lies die Regeln,
+bevor du etwas in diesem Bereich des Forums veröffentlichst, und denke
+daran, respektvoll gegenüber den anderen Mitgliedern der Gemeinschaft zu
+sein.`,
+
+		Italian: `La veloce volpe marrone salta sopra il cane pigro mentre il
+sole tramonta dietro le montagne. Le persone scrivono spesso messaggi sui
+forum per condividere le loro esperienze e fare domande su cose che non
+capiscono. La lingua è un sistema strutturato di comunicazione usato dagli
+esseri umani, e ogni lingua ha la propria grammatica, il proprio
+vocabolario e i propri modelli sonori. Penso che dovremmo vederci domani
+perché c'è qualcosa di importante che voglio dirti sul progetto al quale
+abbiamo lavorato insieme. Quando compri qualcosa online, dovresti sempre
+controllare le recensioni che gli altri clienti hanno scritto prima di
+prendere una decisione sull'acquisto. Oggi il tempo era davvero bello,
+quindi abbiamo fatto una lunga passeggiata nel parco e poi abbiamo preso un
+caffè nel piccolo negozio vicino a casa mia. Non è sempre facile sapere se
+qualcosa che leggi su internet è vero, per questo dovresti cercare diverse
+fonti indipendenti. Grazie per l'aiuto, era esattamente quello che stavo
+cercando e ha funzionato perfettamente al primo tentativo. Per favore leggi
+le regole prima di pubblicare qualsiasi cosa in questa sezione del forum e
+ricorda di essere rispettoso verso gli altri membri della comunità.`,
+
+		Portuguese: `A rápida raposa marrom pula sobre o cão preguiçoso
+enquanto o sol se põe atrás das montanhas. As pessoas costumam escrever
+mensagens em fóruns para compartilhar suas experiências e fazer perguntas
+sobre coisas que não entendem. A língua é um sistema estruturado de
+comunicação usado pelos seres humanos, e cada língua tem sua própria
+gramática, vocabulário e padrões sonoros. Acho que deveríamos nos encontrar
+amanhã porque há algo importante que quero te contar sobre o projeto em que
+temos trabalhado juntos. Quando você compra algo pela internet, deve sempre
+verificar as avaliações que outros clientes escreveram antes de tomar uma
+decisão sobre a compra. O tempo hoje estava muito agradável, então fomos
+dar um longo passeio no parque e depois tomamos café na lojinha perto da
+minha casa. Nem sempre é fácil saber se algo que você lê na internet é
+verdade, por isso você deve procurar várias fontes independentes. Obrigado
+pela ajuda, era exatamente o que eu estava procurando e funcionou
+perfeitamente na primeira vez que tentei. Por favor, leia as regras antes
+de publicar qualquer coisa nesta seção do fórum e lembre-se de ser
+respeitoso com os outros membros da comunidade.`,
+
+		Dutch: `De snelle bruine vos springt over de luie hond terwijl de zon
+achter de bergen ondergaat. Mensen schrijven vaak berichten op forums om
+hun ervaringen te delen en vragen te stellen over dingen die ze niet
+begrijpen. Taal is een gestructureerd communicatiesysteem dat door mensen
+wordt gebruikt, en elke taal heeft zijn eigen grammatica, woordenschat en
+klankpatronen. Ik denk dat we elkaar morgen moeten ontmoeten omdat er iets
+belangrijks is dat ik je wil vertellen over het project waaraan we samen
+hebben gewerkt. Als je iets op internet koopt, moet je altijd de
+beoordelingen bekijken die andere klanten hebben geschreven voordat je een
+beslissing neemt over de aankoop. Het weer was vandaag echt lekker, dus we
+hebben een lange wandeling in het park gemaakt en daarna koffie gedronken
+in het winkeltje om de hoek bij mijn huis. Het is niet altijd gemakkelijk
+om te weten of iets dat je op internet leest waar is, daarom moet je
+meerdere onafhankelijke bronnen zoeken. Bedankt voor de hulp, dit was
+precies wat ik zocht en het werkte perfect de eerste keer dat ik het
+probeerde. Lees alsjeblieft de regels voordat je iets in dit gedeelte van
+het forum plaatst en vergeet niet respectvol te zijn tegenover de andere
+leden van de gemeenschap.`,
+
+		Romanian: `Vulpea maro rapidă sare peste câinele leneș în timp ce
+soarele apune în spatele munților. Oamenii scriu adesea mesaje pe forumuri
+pentru a-și împărtăși experiențele și pentru a pune întrebări despre
+lucruri pe care nu le înțeleg. Limba este un sistem structurat de
+comunicare folosit de oameni, și fiecare limbă are propria gramatică,
+propriul vocabular și propriile modele sonore. Cred că ar trebui să ne
+întâlnim mâine pentru că este ceva important pe care vreau să ți-l spun
+despre proiectul la care am lucrat împreună. Când cumperi ceva de pe
+internet, ar trebui să verifici întotdeauna recenziile pe care alți clienți
+le-au scris înainte de a lua o decizie. Vremea a fost foarte frumoasă
+astăzi, așa că am făcut o plimbare lungă în parc și apoi am băut cafea la
+micul magazin de lângă casa mea. Nu este întotdeauna ușor să știi dacă ceva
+ce citești pe internet este adevărat, de aceea ar trebui să cauți mai multe
+surse independente. Mulțumesc pentru ajutor, era exact ceea ce căutam și a
+funcționat perfect din prima încercare. Te rog să citești regulile înainte
+de a publica orice în această secțiune a forumului și amintește-ți să fii
+respectuos față de ceilalți membri ai comunității.`,
+	}
+}

@@ -1,0 +1,233 @@
+// Package lemma implements a deterministic rule-based English lemmatiser.
+// It reduces inflected forms to their lemma ("am", "are", "is" → "be";
+// "running" → "run"; "mice" → "mouse") so that the word n-gram features of
+// the pipeline treat different inflections of the same word as one item
+// (§IV-A of the paper).
+//
+// The design is the classic two-layer one: an exception table for irregular
+// forms, then ordered suffix-rewrite rules with consonant-doubling and
+// silent-e heuristics. It does not attempt part-of-speech disambiguation —
+// forum text offers no reliable POS signal and the attribution features are
+// robust to the occasional over-stemming.
+package lemma
+
+import "strings"
+
+// Lemmatize returns the lemma of a single lowercase word. Words shorter
+// than 3 runes, non-alphabetic tokens, and unknown forms pass through
+// unchanged. Input is lowercased internally.
+func Lemmatize(word string) string {
+	w := strings.ToLower(word)
+	if len(w) < 3 {
+		return w
+	}
+	if lemma, ok := irregular[w]; ok {
+		return lemma
+	}
+	if out := trySuffixRules(w); out != "" {
+		return out
+	}
+	return w
+}
+
+// LemmatizeAll lemmatises every word of the slice in place and returns it.
+func LemmatizeAll(words []string) []string {
+	for i, w := range words {
+		words[i] = Lemmatize(w)
+	}
+	return words
+}
+
+// vowel reports whether the byte at i in w is a vowel ('y' counts when not
+// word-initial, the usual stemming convention).
+func vowel(w string, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	case 'y':
+		return i > 0
+	default:
+		return false
+	}
+}
+
+func hasVowel(w string) bool {
+	for i := range w {
+		if vowel(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubledConsonant reports whether w ends in a doubled consonant
+// ("stopp", "runn").
+func endsDoubledConsonant(w string) bool {
+	n := len(w)
+	if n < 2 {
+		return false
+	}
+	return w[n-1] == w[n-2] && !vowel(w, n-1)
+}
+
+// trySuffixRules applies the ordered inflection-stripping rules. Empty
+// string means no rule applied.
+func trySuffixRules(w string) string {
+	// ---- verbal -ing ----
+	if strings.HasSuffix(w, "ing") && len(w) > 5 {
+		stem := w[:len(w)-3]
+		if !hasVowel(stem) {
+			return ""
+		}
+		switch {
+		case endsDoubledConsonant(stem) && !keepDouble(stem):
+			return stem[:len(stem)-1] // running → run
+		case needsSilentE(stem):
+			return stem + "e" // making → make
+		default:
+			return stem // walking → walk
+		}
+	}
+	// ---- verbal/adjectival -ed ----
+	if strings.HasSuffix(w, "ied") && len(w) > 4 {
+		return w[:len(w)-3] + "y" // tried → try
+	}
+	if strings.HasSuffix(w, "ed") && len(w) > 4 {
+		stem := w[:len(w)-2]
+		if !hasVowel(stem) {
+			return ""
+		}
+		switch {
+		case endsDoubledConsonant(stem) && !keepDouble(stem):
+			return stem[:len(stem)-1] // stopped → stop
+		case needsSilentE(stem):
+			return stem + "e" // hoped → hope... (heuristic)
+		default:
+			return stem // walked → walk
+		}
+	}
+	// ---- comparatives / superlatives ----
+	if strings.HasSuffix(w, "iest") && len(w) > 5 {
+		return w[:len(w)-4] + "y" // happiest → happy
+	}
+	if strings.HasSuffix(w, "ier") && len(w) > 4 {
+		return w[:len(w)-3] + "y" // happier → happy
+	}
+	// ---- plural nouns / 3rd person singular ----
+	if strings.HasSuffix(w, "ies") && len(w) > 4 {
+		return w[:len(w)-3] + "y" // cities → city
+	}
+	if strings.HasSuffix(w, "ves") && len(w) > 4 {
+		if base, ok := vesSingular[w]; ok {
+			return base // knives → knife
+		}
+		return w[:len(w)-3] + "f" // wolves → wolf
+	}
+	if strings.HasSuffix(w, "sses") && len(w) > 5 {
+		return w[:len(w)-2] // classes → class
+	}
+	if strings.HasSuffix(w, "xes") || strings.HasSuffix(w, "zes") ||
+		strings.HasSuffix(w, "ches") || strings.HasSuffix(w, "shes") {
+		if len(w) > 4 {
+			return w[:len(w)-2] // boxes → box, riches → rich
+		}
+	}
+	if strings.HasSuffix(w, "oes") && len(w) > 4 {
+		return w[:len(w)-2] // potatoes → potato
+	}
+	if strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss") &&
+		!strings.HasSuffix(w, "us") && !strings.HasSuffix(w, "is") && len(w) > 3 {
+		return w[:len(w)-1] // dogs → dog, runs → run
+	}
+	return ""
+}
+
+// keepDouble lists final doubled consonants that are part of the lemma and
+// must not be collapsed ("fall" ← "falling", not "fal").
+func keepDouble(stem string) bool {
+	switch {
+	case strings.HasSuffix(stem, "ll"),
+		strings.HasSuffix(stem, "ss"),
+		strings.HasSuffix(stem, "zz"),
+		strings.HasSuffix(stem, "ff"),
+		strings.HasSuffix(stem, "ee"),
+		strings.HasSuffix(stem, "oo"):
+		return true
+	}
+	return false
+}
+
+// needsSilentE guesses whether the stem lost a silent 'e' when the suffix
+// was attached: consonant + single vowel + consonant with the last
+// consonant not being w/x/y, and the stem ending in a typically e-final
+// cluster. Heuristic tuned on common verbs.
+func needsSilentE(stem string) bool {
+	for _, suf := range eFinalClusters {
+		if strings.HasSuffix(stem, suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// eFinalClusters end lemmas in silent 'e' after suffix stripping:
+// mak(e)ing, writ(e)ing, hop(e)ed, danc(e)ing, believ(e)ed …
+var eFinalClusters = []string{
+	"mak", "tak", "giv", "hav", "liv", "lov", "mov", "prov", "serv",
+	"writ", "rid", "driv", "danc", "chang", "charg", "judg", "manag",
+	"believ", "receiv", "achiev", "leav", "sav", "wav", "shar", "car",
+	"stor", "scor", "ignor", "explor", "compar", "declar", "prepar",
+	"requir", "desir", "admir", "retir", "inspir", "us", "caus", "clos",
+	"chos", "rais", "pleas", "increas", "decreas", "releas", "purchas",
+	"promis", "surpris", "exercis", "realiz", "recogniz", "organiz",
+	"analyz", "siz", "freez", "sneez", "squeez", "creat", "stat", "relat",
+	"operat", "separat", "generat", "celebrat", "educat", "indicat",
+	"communicat", "not", "vot", "quot", "promot", "devot", "wast", "tast",
+	"past", "invit", "unit", "excit", "decid", "provid", "divid", "hid",
+	"guid", "slid", "trad", "fad", "upgrad", "includ", "exclud", "conclud",
+	"produc", "reduc", "introduc", "induc", "deduc", "fac", "plac",
+	"replac", "trac", "spac", "rac", "pric", "slic", "notic", "practic",
+	"servic", "sourc", "forc", "divorc", "bak", "wak", "shak", "smok",
+	"jok", "strok", "lik", "hik", "bik", "strik", "pok", "invok", "evok",
+	"argu", "rescu", "valu", "continu", "pursu", "issu", "tissu", "glu",
+	"du", "sham", "blam", "fram", "nam", "tam", "gam", "tim", "chim",
+	"com", "welcom", "assum", "consum", "resum", "combin", "defin",
+	"imagin", "determin", "examin", "machin", "shin", "lin", "min", "fin",
+	"refin", "declin", "win", "dilut", "comput", "execut", "contribut",
+	"distribut", "salut", "pollut", "dictat", "rotat", "locat", "donat",
+	"hop", "rop", "scop", "shap", "escap", "typ", "hyp", "wip", "pip",
+	"rip", "snip", "cop", "scrap", "stak", "brak", "flak", "rak",
+	"describ", "subscrib", "prescrib", "vib", "brib", "tun", "prun",
+	"din", "pin", "vin", "bon", "ston", "phon", "zon", "clon", "ton",
+	"postpon", "styl", "smil", "fil", "pil", "compil", "whil", "tackl",
+	"settl", "handl", "bundl", "puzzl", "battl", "bottl", "titl",
+	"schedul", "rul", "sampl", "exampl", "coupl", "tripl", "simpl",
+	"googl", "cycl", "recycl", "articl", "struggl", "singl", "jungl",
+	"angl", "tangl", "gigl", "giggl", "juggl", "snuggl", "smuggl",
+	"shuffl", "muffl", "ruffl", "rattl", "startl", "whistl", "wrestl",
+	"hustl", "bustl", "castl", "measur", "pressur", "treasur", "assur",
+	"ensur", "insur", "cur", "secur", "matur", "figur", "captur",
+	"featur", "natur", "lectur", "structur", "cultur", "pictur",
+	"manufactur", "textur", "mixtur", "ventur", "adventur", "gestur",
+	"postur", "tortur", "nurtur", "injur", "conjur", "endur", "procedur",
+	"acquir", "inquir", "wir", "hir", "fir", "tir", "expir", "pric",
+	"sacrific", "offic", "devic", "advic", "vic", "twic", "juic", "spic",
+	"dic", "entic", "splic", "ic", "smash", "observ", "deserv", "reserv",
+	"preserv", "conserv", "curv", "starv", "carv", "involv", "evolv",
+	"solv", "resolv", "dissolv", "halv", "delv", "shelv", "nerv", "swerv",
+	"dodg", "lodg", "budg", "nudg", "bridg", "pledg", "hedg", "wedg",
+	"edg", "urg", "surg", "merg", "emerg", "purg", "forg", "gorg",
+	"indulg", "divulg", "bulg", "rang", "arrang", "exchang", "strang",
+	"aveng", "reveng", "challeng", "ging", "hing", "cring", "fring",
+	"billing", "loung", "scroung", "ploung", "spong", "plung", "expung",
+	"bath", "breath", "cloth", "looth", "sooth", "seeth", "teeth",
+	"scath", "swath", "lath", "tith", "writh",
+}
+
+// vesSingular handles -ves plurals whose singular ends in -fe, not -f.
+var vesSingular = map[string]string{
+	"knives": "knife", "wives": "wife", "lives": "life", "selves": "self",
+	"elves": "elf", "shelves": "shelf", "halves": "half", "loaves": "loaf",
+	"thieves": "thief", "leaves": "leaf", "calves": "calf", "wolves": "wolf",
+	"scarves": "scarf", "hooves": "hoof", "dwarves": "dwarf",
+}

@@ -1,0 +1,118 @@
+package lemma
+
+import "testing"
+
+func TestLemmatizeIrregulars(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"am", "am"}, // < 3 runes pass through untouched
+		{"was", "be"},
+		{"were", "be"},
+		{"been", "be"},
+		{"has", "have"},
+		{"did", "do"},
+		{"went", "go"},
+		{"bought", "buy"},
+		{"children", "child"},
+		{"mice", "mouse"},
+		{"people", "person"},
+		{"better", "good"},
+		{"worst", "bad"},
+		{"wrote", "write"},
+		{"written", "write"},
+		{"THOUGHT", "think"}, // case-insensitive
+	}
+	for _, tt := range tests {
+		if got := Lemmatize(tt.in); got != tt.want {
+			t.Errorf("Lemmatize(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestLemmatizeSuffixRules(t *testing.T) {
+	tests := []struct{ in, want string }{
+		// -ing
+		{"walking", "walk"},
+		{"running", "run"},  // doubled consonant collapses
+		{"falling", "fall"}, // ll kept
+		{"making", "make"},  // silent e restored
+		{"writing", "write"},
+		{"believing", "believe"},
+		// -ed
+		{"walked", "walk"},
+		{"stopped", "stop"},
+		{"tried", "try"},
+		{"hoped", "hope"},
+		{"used", "use"},
+		// plurals / 3sg
+		{"dogs", "dog"},
+		{"cities", "city"},
+		{"boxes", "box"},
+		{"classes", "class"},
+		{"wolves", "wolf"},
+		{"knives", "knife"},
+		{"potatoes", "potato"},
+		{"runs", "run"},
+		// comparatives
+		{"happier", "happy"},
+		{"happiest", "happy"},
+		// protected words
+		{"this", "this"},
+		{"news", "news"},
+		{"morning", "morning"},
+		{"bus", "bus"},
+		{"anonymous", "anonymous"},
+		{"series", "series"},
+		{"string", "string"},
+		// unknown words pass through
+		{"zxqqv", "zxqqv"},
+	}
+	for _, tt := range tests {
+		if got := Lemmatize(tt.in); got != tt.want {
+			t.Errorf("Lemmatize(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestLemmatizeAllInPlace(t *testing.T) {
+	words := []string{"Dogs", "were", "running"}
+	got := LemmatizeAll(words)
+	want := []string{"dog", "be", "run"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("LemmatizeAll[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// Idempotence: lemmatising a lemma must be stable for the whole
+// irregular table and for typical rule outputs — feature extraction relies
+// on a canonical form.
+func TestLemmatizeIdempotentOnIrregularLemmas(t *testing.T) {
+	seen := map[string]bool{}
+	for _, lemma := range irregular {
+		if seen[lemma] {
+			continue
+		}
+		seen[lemma] = true
+		once := Lemmatize(lemma)
+		twice := Lemmatize(once)
+		if once != twice {
+			t.Errorf("Lemmatize not idempotent: %q → %q → %q", lemma, once, twice)
+		}
+	}
+}
+
+func TestShortWordsPassThrough(t *testing.T) {
+	for _, w := range []string{"a", "of", "to", "it"} {
+		if got := Lemmatize(w); got != w {
+			t.Errorf("Lemmatize(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestNoVowelStemsUntouched(t *testing.T) {
+	// "sphinxed" would strip to a vowel-less stem — rule must refuse.
+	if got := Lemmatize("bcding"); got != "bcding" {
+		t.Errorf("Lemmatize(bcding) = %q, want unchanged (no vowel in stem)", got)
+	}
+}

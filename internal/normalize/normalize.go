@@ -1,0 +1,465 @@
+// Package normalize implements the data-polishing pipeline of §III-C of
+// the paper — the twelve steps that turn raw scraped forum data into
+// analysable text:
+//
+//  1. drop accounts whose nickname starts or ends with "bot"
+//  2. drop duplicate messages (vendor reposts, Reddit cross-posts)
+//  3. normalise URLs to their hostname
+//  4. strip emoji
+//  5. drop messages shorter than 10 words
+//  6. drop messages whose distinct-word ratio is below 0.5 (spam)
+//  7. keep only messages written in English
+//  8. strip quoted text (keep only what the account holder wrote)
+//  9. strip "Edit by <username>" markers
+//  10. replace mail addresses with the "_mail_" tag
+//  11. strip armored PGP keys
+//  12. drop words longer than 34 characters (ASCII art, unarmored keys)
+//
+// Each step is a named Step value so callers can run the full paper
+// pipeline, a subset, or interleave their own steps; the Report records
+// what every step removed, which the tests and the experiment harness use.
+package normalize
+
+import (
+	"fmt"
+	"net/url"
+	"regexp"
+	"strings"
+
+	"darklight/internal/forum"
+	"darklight/internal/langdetect"
+	"darklight/internal/tokenize"
+)
+
+// Defaults for the paper's thresholds.
+const (
+	// MinWords is the minimum message length in words (step 5).
+	MinWords = 10
+	// MinDistinctRatio is the spam threshold of step 6.
+	MinDistinctRatio = 0.5
+	// MaxWordLen is the longest token kept by step 12.
+	MaxWordLen = 34
+	// MailTag replaces email addresses (step 10).
+	MailTag = "_mail_"
+	// MinEnglishProb is the language-detector confidence needed to keep a
+	// message as English (step 7).
+	MinEnglishProb = 0.50
+)
+
+// Step is one polishing stage. Apply mutates the dataset in place and adds
+// its effect to the report.
+type Step struct {
+	// Name identifies the step ("strip-emoji").
+	Name string
+	// Paper is the step number in §III-C, 0 for extensions.
+	Paper int
+	// Apply runs the step.
+	Apply func(d *forum.Dataset, r *Report)
+}
+
+// Report accumulates per-step statistics.
+type Report struct {
+	// Steps lists per-step effects in execution order.
+	Steps []StepReport
+}
+
+// StepReport describes what one step changed.
+type StepReport struct {
+	Name             string
+	AliasesRemoved   int
+	MessagesRemoved  int
+	MessagesModified int
+}
+
+// String renders a compact human-readable summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, s := range r.Steps {
+		fmt.Fprintf(&b, "%-18s aliases-removed=%-5d messages-removed=%-6d modified=%d\n",
+			s.Name, s.AliasesRemoved, s.MessagesRemoved, s.MessagesModified)
+	}
+	return b.String()
+}
+
+func (r *Report) add(s StepReport) { r.Steps = append(r.Steps, s) }
+
+// Pipeline is an ordered list of steps.
+type Pipeline struct {
+	steps    []Step
+	detector *langdetect.Detector
+}
+
+// Option configures a Pipeline.
+type Option func(*Pipeline)
+
+// WithDetector overrides the language detector (the default is the
+// embedded-profile detector).
+func WithDetector(d *langdetect.Detector) Option {
+	return func(p *Pipeline) { p.detector = d }
+}
+
+// NewPipeline returns the full 12-step paper pipeline.
+func NewPipeline(opts ...Option) *Pipeline {
+	p := &Pipeline{detector: langdetect.Default()}
+	for _, o := range opts {
+		o(p)
+	}
+	p.steps = []Step{
+		{Name: "drop-bots", Paper: 1, Apply: dropBots},
+		{Name: "dedup-messages", Paper: 2, Apply: dedupMessages},
+		{Name: "strip-quotes", Paper: 8, Apply: stripQuotes},
+		{Name: "strip-edit-marks", Paper: 9, Apply: stripEditMarks},
+		{Name: "strip-pgp", Paper: 11, Apply: stripPGP},
+		{Name: "tag-mail", Paper: 10, Apply: tagMail},
+		{Name: "normalize-urls", Paper: 3, Apply: normalizeURLs},
+		{Name: "strip-emoji", Paper: 4, Apply: stripEmoji},
+		{Name: "drop-long-words", Paper: 12, Apply: dropLongWords},
+		{Name: "english-only", Paper: 7, Apply: p.englishOnly},
+		{Name: "drop-short", Paper: 5, Apply: dropShort},
+		{Name: "drop-spam", Paper: 6, Apply: dropSpam},
+	}
+	return p
+}
+
+// Steps returns the step names in execution order.
+func (p *Pipeline) Steps() []string {
+	names := make([]string, len(p.steps))
+	for i, s := range p.steps {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Run executes every step in order and returns the report. The dataset is
+// modified in place; aliases left with zero messages are removed at the end.
+//
+// The execution order differs from the paper's listing order: text-mutating
+// steps (quotes, PGP, mail, URLs, emoji) run before the filters that
+// measure length, spam ratio, and language, so the filters see the text the
+// feature extractor will see.
+func (p *Pipeline) Run(d *forum.Dataset) *Report {
+	r := &Report{}
+	for _, s := range p.steps {
+		s.Apply(d, r)
+	}
+	// Final sweep: drop aliases that lost all messages.
+	before := d.Len()
+	kept := d.Filter(func(a *forum.Alias) bool { return len(a.Messages) > 0 })
+	d.Aliases = kept.Aliases
+	r.add(StepReport{Name: "drop-empty-aliases", AliasesRemoved: before - d.Len()})
+	return r
+}
+
+// --- step 1: bots ---
+
+func dropBots(d *forum.Dataset, r *Report) {
+	before := d.Len()
+	msgs := 0
+	kept := d.Aliases[:0]
+	for i := range d.Aliases {
+		if d.Aliases[i].IsLikelyBot() {
+			msgs += len(d.Aliases[i].Messages)
+			continue
+		}
+		kept = append(kept, d.Aliases[i])
+	}
+	d.Aliases = kept
+	r.add(StepReport{Name: "drop-bots", AliasesRemoved: before - d.Len(), MessagesRemoved: msgs})
+}
+
+// --- step 2: duplicates ---
+
+// dedupMessages removes duplicate bodies per alias (vendors repost their
+// showcase; redditors cross-post across subreddits). The first occurrence
+// by timestamp wins so activity profiles keep the original posting time.
+func dedupMessages(d *forum.Dataset, r *Report) {
+	removed := 0
+	for i := range d.Aliases {
+		a := &d.Aliases[i]
+		seen := make(map[string]int, len(a.Messages)) // body → index of kept msg
+		kept := a.Messages[:0]
+		for _, m := range a.Messages {
+			key := strings.TrimSpace(m.Body)
+			if j, dup := seen[key]; dup {
+				if m.PostedAt.Before(kept[j].PostedAt) {
+					kept[j] = m
+				}
+				removed++
+				continue
+			}
+			seen[key] = len(kept)
+			kept = append(kept, m)
+		}
+		a.Messages = kept
+	}
+	r.add(StepReport{Name: "dedup-messages", MessagesRemoved: removed})
+}
+
+// --- step 3: URLs ---
+
+var schemeURLRe = regexp.MustCompile(`(?i)\b(?:https?|ftp)://[^\s<>"')\]]+`)
+
+// NormalizeURL reduces a URL to its hostname ("https://www.reddit.com/r/x"
+// → "reddit"-style hostname per the paper; we keep the full hostname,
+// dropping scheme, path, query and the "www." prefix).
+func NormalizeURL(raw string) string {
+	u, err := url.Parse(raw)
+	if err != nil || u.Host == "" {
+		// Fall back to manual trimming for malformed URLs.
+		s := raw
+		if i := strings.Index(s, "://"); i >= 0 {
+			s = s[i+3:]
+		}
+		if i := strings.IndexAny(s, "/?#"); i >= 0 {
+			s = s[:i]
+		}
+		return strings.TrimPrefix(strings.ToLower(s), "www.")
+	}
+	return strings.TrimPrefix(strings.ToLower(u.Hostname()), "www.")
+}
+
+func normalizeURLs(d *forum.Dataset, r *Report) {
+	modified := 0
+	for i := range d.Aliases {
+		for j := range d.Aliases[i].Messages {
+			m := &d.Aliases[i].Messages[j]
+			out := schemeURLRe.ReplaceAllStringFunc(m.Body, NormalizeURL)
+			if out != m.Body {
+				m.Body = out
+				modified++
+			}
+		}
+	}
+	r.add(StepReport{Name: "normalize-urls", MessagesModified: modified})
+}
+
+// --- step 4: emoji ---
+
+func stripEmoji(d *forum.Dataset, r *Report) {
+	modified := 0
+	for i := range d.Aliases {
+		for j := range d.Aliases[i].Messages {
+			m := &d.Aliases[i].Messages[j]
+			out := tokenize.StripEmoji(m.Body)
+			if out != m.Body {
+				m.Body = out
+				modified++
+			}
+		}
+	}
+	r.add(StepReport{Name: "strip-emoji", MessagesModified: modified})
+}
+
+// --- step 5: short messages ---
+
+func dropShort(d *forum.Dataset, r *Report) {
+	removed := 0
+	for i := range d.Aliases {
+		a := &d.Aliases[i]
+		kept := a.Messages[:0]
+		for _, m := range a.Messages {
+			if m.WordCount() < MinWords {
+				removed++
+				continue
+			}
+			kept = append(kept, m)
+		}
+		a.Messages = kept
+	}
+	r.add(StepReport{Name: "drop-short", MessagesRemoved: removed})
+}
+
+// --- step 6: spam ratio ---
+
+func dropSpam(d *forum.Dataset, r *Report) {
+	removed := 0
+	for i := range d.Aliases {
+		a := &d.Aliases[i]
+		kept := a.Messages[:0]
+		for _, m := range a.Messages {
+			if m.DistinctWordRatio() < MinDistinctRatio {
+				removed++
+				continue
+			}
+			kept = append(kept, m)
+		}
+		a.Messages = kept
+	}
+	r.add(StepReport{Name: "drop-spam", MessagesRemoved: removed})
+}
+
+// --- step 7: language ---
+
+func (p *Pipeline) englishOnly(d *forum.Dataset, r *Report) {
+	removed := 0
+	for i := range d.Aliases {
+		a := &d.Aliases[i]
+		kept := a.Messages[:0]
+		for _, m := range a.Messages {
+			if !p.detector.IsEnglish(m.Body, MinEnglishProb) {
+				removed++
+				continue
+			}
+			kept = append(kept, m)
+		}
+		a.Messages = kept
+	}
+	r.add(StepReport{Name: "english-only", MessagesRemoved: removed})
+}
+
+// --- step 8: quotes ---
+
+// StripQuoteText removes quoted material from a message body: Reddit-style
+// "> " lines and BB-style [quote]...[/quote] blocks (nested blocks are
+// removed with a depth counter — Go regexps have no lookahead, and the
+// naive non-greedy regex pairs an outer opener with an inner closer).
+func StripQuoteText(body string) string {
+	body = stripBBQuotes(body)
+	lines := strings.Split(body, "\n")
+	kept := lines[:0]
+	for _, ln := range lines {
+		if strings.HasPrefix(strings.TrimSpace(ln), ">") {
+			continue
+		}
+		kept = append(kept, ln)
+	}
+	return strings.TrimSpace(strings.Join(kept, "\n"))
+}
+
+// stripBBQuotes removes [quote...]...[/quote] blocks, tracking nesting
+// depth. Unbalanced openers discard to end of text (quoted garbage beats
+// leaked foreign text); unbalanced closers are dropped as stray markup.
+func stripBBQuotes(body string) string {
+	lower := strings.ToLower(body)
+	var b strings.Builder
+	depth := 0
+	i := 0
+	for i < len(body) {
+		switch {
+		case strings.HasPrefix(lower[i:], "[quote"):
+			end := strings.IndexByte(lower[i:], ']')
+			if end < 0 { // unterminated opener tag
+				i = len(body)
+				continue
+			}
+			depth++
+			i += end + 1
+		case strings.HasPrefix(lower[i:], "[/quote]"):
+			if depth > 0 {
+				depth--
+				if depth == 0 {
+					b.WriteByte(' ')
+				}
+			}
+			i += len("[/quote]")
+		default:
+			if depth == 0 {
+				b.WriteByte(body[i])
+			}
+			i++
+		}
+	}
+	return b.String()
+}
+
+func stripQuotes(d *forum.Dataset, r *Report) {
+	modified := 0
+	for i := range d.Aliases {
+		for j := range d.Aliases[i].Messages {
+			m := &d.Aliases[i].Messages[j]
+			body := m.Body
+			if m.Quoted != "" {
+				body = strings.ReplaceAll(body, m.Quoted, " ")
+			}
+			out := StripQuoteText(body)
+			if out != m.Body {
+				m.Body = out
+				modified++
+			}
+		}
+	}
+	r.add(StepReport{Name: "strip-quotes", MessagesModified: modified})
+}
+
+// --- step 9: edit marks ---
+
+// "Edit by <username>" (and common variants "Edited by X", "EDIT:") up to
+// end of line — the platform-added attribution string of §III-C(9).
+var editMarkRe = regexp.MustCompile(`(?im)^\s*(?:last\s+)?edit(?:ed)?\s*(?:by\s+\S+|:)?[^\n]*$`)
+
+func stripEditMarks(d *forum.Dataset, r *Report) {
+	modified := 0
+	for i := range d.Aliases {
+		for j := range d.Aliases[i].Messages {
+			m := &d.Aliases[i].Messages[j]
+			out := strings.TrimSpace(editMarkRe.ReplaceAllString(m.Body, ""))
+			if out != m.Body {
+				m.Body = out
+				modified++
+			}
+		}
+	}
+	r.add(StepReport{Name: "strip-edit-marks", MessagesModified: modified})
+}
+
+// --- step 10: mail addresses ---
+
+var mailRe = regexp.MustCompile(`[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}`)
+
+func tagMail(d *forum.Dataset, r *Report) {
+	modified := 0
+	for i := range d.Aliases {
+		for j := range d.Aliases[i].Messages {
+			m := &d.Aliases[i].Messages[j]
+			out := mailRe.ReplaceAllString(m.Body, MailTag)
+			if out != m.Body {
+				m.Body = out
+				modified++
+			}
+		}
+	}
+	r.add(StepReport{Name: "tag-mail", MessagesModified: modified})
+}
+
+// --- step 11: PGP ---
+
+func stripPGP(d *forum.Dataset, r *Report) {
+	modified := 0
+	for i := range d.Aliases {
+		for j := range d.Aliases[i].Messages {
+			m := &d.Aliases[i].Messages[j]
+			if !tokenize.ContainsPGP(m.Body) {
+				continue
+			}
+			m.Body = tokenize.StripPGP(m.Body)
+			modified++
+		}
+	}
+	r.add(StepReport{Name: "strip-pgp", MessagesModified: modified})
+}
+
+// --- step 12: overlong words ---
+
+func dropLongWords(d *forum.Dataset, r *Report) {
+	modified := 0
+	for i := range d.Aliases {
+		for j := range d.Aliases[i].Messages {
+			m := &d.Aliases[i].Messages[j]
+			fields := strings.Fields(m.Body)
+			changed := false
+			kept := fields[:0]
+			for _, f := range fields {
+				if len([]rune(f)) > MaxWordLen {
+					changed = true
+					continue
+				}
+				kept = append(kept, f)
+			}
+			if changed {
+				m.Body = strings.Join(kept, " ")
+				modified++
+			}
+		}
+	}
+	r.add(StepReport{Name: "drop-long-words", MessagesModified: modified})
+}

@@ -1,0 +1,100 @@
+package scraper
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"darklight/internal/forum"
+)
+
+// The darkweb server emits a deliberately simple, stable markup; parsing
+// is hand-rolled (no html package dependency) and resilient to extra
+// whitespace and attribute reordering.
+
+// extractHrefs returns the href of every <a class="<class>" ...> link.
+func extractHrefs(page, class string) []string {
+	var out []string
+	needle := `class="` + class + `"`
+	rest := page
+	for {
+		a := strings.Index(rest, "<a ")
+		if a < 0 {
+			return out
+		}
+		end := strings.Index(rest[a:], ">")
+		if end < 0 {
+			return out
+		}
+		tag := rest[a : a+end]
+		if strings.Contains(tag, needle) {
+			if href, ok := attrValue(tag, "href"); ok {
+				out = append(out, href)
+			}
+		}
+		rest = rest[a+end:]
+	}
+}
+
+// attrValue extracts attr="value" from a tag string.
+func attrValue(tag, attr string) (string, bool) {
+	needle := attr + `="`
+	i := strings.Index(tag, needle)
+	if i < 0 {
+		return "", false
+	}
+	rest := tag[i+len(needle):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return "", false
+	}
+	return rest[:j], true
+}
+
+// ParsePosts extracts the posts of one thread page.
+func ParsePosts(page string) ([]forum.Message, error) {
+	var posts []forum.Message
+	rest := page
+	for {
+		start := strings.Index(rest, "<article ")
+		if start < 0 {
+			return posts, nil
+		}
+		tagEnd := strings.Index(rest[start:], ">")
+		if tagEnd < 0 {
+			return posts, fmt.Errorf("scraper: unterminated article tag")
+		}
+		tag := rest[start : start+tagEnd]
+		bodyStart := start + tagEnd + 1
+		close := strings.Index(rest[bodyStart:], "</article>")
+		if close < 0 {
+			return posts, fmt.Errorf("scraper: unterminated article body")
+		}
+		body := strings.TrimSpace(rest[bodyStart : bodyStart+close])
+
+		var m forum.Message
+		m.ID, _ = attrValue(tag, "data-id")
+		m.Author, _ = attrValue(tag, "data-author")
+		m.Board, _ = attrValue(tag, "data-board")
+		if ts, ok := attrValue(tag, "data-time"); ok {
+			t, err := time.Parse(time.RFC3339, ts)
+			if err != nil {
+				return posts, fmt.Errorf("scraper: post %s: bad timestamp %q: %w", m.ID, ts, err)
+			}
+			m.PostedAt = t
+		}
+		m.Body = htmlUnescape(body)
+		if m.Author != "" {
+			posts = append(posts, m)
+		}
+		rest = rest[bodyStart+close:]
+	}
+}
+
+// htmlUnescape reverses html.EscapeString's five entities.
+func htmlUnescape(s string) string {
+	r := strings.NewReplacer(
+		"&lt;", "<", "&gt;", ">", "&#34;", `"`, "&#39;", "'", "&amp;", "&",
+	)
+	return r.Replace(s)
+}

@@ -1,0 +1,278 @@
+// Package scraper crawls a darkweb-style forum into a dataset. It is the
+// data-collection stage of the paper (§III-B): board index → thread
+// listings → paginated posts, with the defensive behaviours scraping a
+// hidden service demands — polite rate limiting, bounded retries with
+// exponential backoff, and context cancellation.
+package scraper
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+
+	"darklight/internal/forum"
+)
+
+// Options configure a crawl.
+type Options struct {
+	// RequestInterval is the minimum delay between requests (politeness).
+	RequestInterval time.Duration
+	// MaxRetries bounds retry attempts per page (default 4).
+	MaxRetries int
+	// BackoffBase is the initial retry delay, doubled per attempt
+	// (default 100ms).
+	BackoffBase time.Duration
+	// MaxPagesPerThread bounds deep threads (0 = unlimited).
+	MaxPagesPerThread int
+	// Boards restricts the crawl to the listed boards (nil = all).
+	Boards []string
+	// Client overrides the HTTP client (default http.DefaultClient with a
+	// 30 s timeout).
+	Client *http.Client
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 4
+	}
+	if o.BackoffBase == 0 {
+		o.BackoffBase = 100 * time.Millisecond
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return o
+}
+
+// Stats summarise a crawl.
+type Stats struct {
+	Requests int
+	Retries  int
+	Boards   int
+	Threads  int
+	Posts    int
+}
+
+// Scraper crawls one forum base URL.
+type Scraper struct {
+	base  string
+	opts  Options
+	stats Stats
+	last  time.Time
+}
+
+// New returns a scraper for the forum at base (e.g. "http://127.0.0.1:8989").
+func New(base string, opts Options) *Scraper {
+	return &Scraper{base: strings.TrimRight(base, "/"), opts: opts.withDefaults()}
+}
+
+// Stats returns crawl statistics (valid after Scrape).
+func (s *Scraper) Stats() Stats { return s.stats }
+
+// Scrape crawls the whole forum and groups posts into a dataset.
+func (s *Scraper) Scrape(ctx context.Context, name string, platform forum.Platform) (*forum.Dataset, error) {
+	boards, err := s.boards(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("scraper: board index: %w", err)
+	}
+	if s.opts.Boards != nil {
+		want := make(map[string]bool, len(s.opts.Boards))
+		for _, b := range s.opts.Boards {
+			want[b] = true
+		}
+		filtered := boards[:0]
+		for _, b := range boards {
+			if want[b] {
+				filtered = append(filtered, b)
+			}
+		}
+		boards = filtered
+	}
+	s.stats.Boards = len(boards)
+
+	byAuthor := make(map[string][]forum.Message)
+	for _, board := range boards {
+		threads, err := s.threads(ctx, board)
+		if err != nil {
+			return nil, fmt.Errorf("scraper: board %q: %w", board, err)
+		}
+		s.stats.Threads += len(threads)
+		s.logf("board %s: %d threads", board, len(threads))
+		for _, thread := range threads {
+			posts, err := s.posts(ctx, thread)
+			if err != nil {
+				return nil, fmt.Errorf("scraper: thread %q: %w", thread, err)
+			}
+			for _, p := range posts {
+				byAuthor[p.Author] = append(byAuthor[p.Author], p)
+				s.stats.Posts++
+			}
+		}
+	}
+
+	names := make([]string, 0, len(byAuthor))
+	for a := range byAuthor {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	d := forum.NewDataset(name, platform)
+	for _, a := range names {
+		d.Aliases = append(d.Aliases, forum.Alias{Name: a, Platform: platform, Messages: byAuthor[a]})
+	}
+	return d, nil
+}
+
+func (s *Scraper) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// boards fetches the board index.
+func (s *Scraper) boards(ctx context.Context) ([]string, error) {
+	page, err := s.fetch(ctx, s.base+"/")
+	if err != nil {
+		return nil, err
+	}
+	var boards []string
+	for _, href := range extractHrefs(page, "board") {
+		boards = append(boards, strings.TrimPrefix(href, "/board/"))
+	}
+	return boards, nil
+}
+
+// threads walks a board's pagination and returns every thread id.
+func (s *Scraper) threads(ctx context.Context, board string) ([]string, error) {
+	var threads []string
+	next := s.base + "/board/" + url.PathEscape(board)
+	for next != "" {
+		page, err := s.fetch(ctx, next)
+		if err != nil {
+			return nil, err
+		}
+		for _, href := range extractHrefs(page, "thread") {
+			threads = append(threads, strings.TrimPrefix(href, "/thread/"))
+		}
+		next = s.nextURL(page)
+	}
+	return threads, nil
+}
+
+// posts walks a thread's pagination and parses every post.
+func (s *Scraper) posts(ctx context.Context, thread string) ([]forum.Message, error) {
+	var posts []forum.Message
+	next := s.base + "/thread/" + url.PathEscape(thread)
+	pages := 0
+	for next != "" {
+		if s.opts.MaxPagesPerThread > 0 && pages >= s.opts.MaxPagesPerThread {
+			break
+		}
+		page, err := s.fetch(ctx, next)
+		if err != nil {
+			return nil, err
+		}
+		parsed, err := ParsePosts(page)
+		if err != nil {
+			return nil, err
+		}
+		for i := range parsed {
+			parsed[i].Thread = thread
+		}
+		posts = append(posts, parsed...)
+		next = s.nextURL(page)
+		pages++
+	}
+	return posts, nil
+}
+
+// nextURL extracts the "next page" link, absolute-ified against the base.
+func (s *Scraper) nextURL(page string) string {
+	for _, href := range extractHrefs(page, "next") {
+		return s.base + href
+	}
+	return ""
+}
+
+// errGiveUp wraps the last failure after retries are exhausted.
+var errGiveUp = errors.New("scraper: retries exhausted")
+
+// fetch gets one URL with politeness and retries.
+func (s *Scraper) fetch(ctx context.Context, rawURL string) (string, error) {
+	var lastErr error
+	for attempt := 0; attempt <= s.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			s.stats.Retries++
+			delay := s.opts.BackoffBase << (attempt - 1)
+			if err := sleepCtx(ctx, delay); err != nil {
+				return "", err
+			}
+		}
+		if err := s.politeWait(ctx); err != nil {
+			return "", err
+		}
+		body, err := s.get(ctx, rawURL)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return "", ctx.Err()
+		}
+	}
+	return "", fmt.Errorf("%w: %s: %v", errGiveUp, rawURL, lastErr)
+}
+
+// politeWait enforces the minimum inter-request interval.
+func (s *Scraper) politeWait(ctx context.Context) error {
+	if s.opts.RequestInterval <= 0 {
+		return nil
+	}
+	if wait := s.opts.RequestInterval - time.Since(s.last); wait > 0 {
+		if err := sleepCtx(ctx, wait); err != nil {
+			return err
+		}
+	}
+	s.last = time.Now()
+	return nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (s *Scraper) get(ctx context.Context, rawURL string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
+	if err != nil {
+		return "", err
+	}
+	s.stats.Requests++
+	resp, err := s.opts.Client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}

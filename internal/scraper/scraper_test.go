@@ -1,0 +1,202 @@
+package scraper
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"darklight/internal/darkweb"
+	"darklight/internal/forum"
+)
+
+func serveDataset(t *testing.T, d *forum.Dataset, opts darkweb.Options) *httptest.Server {
+	t.Helper()
+	srv := darkweb.NewServer(d.Name, d, opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func sampleDataset() *forum.Dataset {
+	d := forum.NewDataset("sample", forum.PlatformTheMajesticGarden)
+	t0 := time.Date(2017, 8, 1, 9, 0, 0, 0, time.UTC)
+	for _, user := range []string{"ann", "ben"} {
+		a := forum.Alias{Name: user}
+		for i := 0; i < 30; i++ {
+			a.Messages = append(a.Messages, forum.Message{
+				ID: user + "-" + string(rune('a'+i%26)) + string(rune('0'+i/26)), Author: user,
+				Board: "garden", Thread: "t" + string(rune('0'+i%3)),
+				Body:     "greetings from " + user + " message " + string(rune('a'+i%26)),
+				PostedAt: t0.Add(time.Duration(i) * time.Hour),
+			})
+		}
+		d.Add(a)
+	}
+	return d
+}
+
+func TestScrapeLossless(t *testing.T) {
+	original := sampleDataset()
+	ts := serveDataset(t, original, darkweb.Options{})
+	sc := New(ts.URL, Options{})
+	got, err := sc.Scrape(context.Background(), "scraped", forum.PlatformTheMajesticGarden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != original.Len() {
+		t.Fatalf("aliases = %d, want %d", got.Len(), original.Len())
+	}
+	if got.TotalMessages() != original.TotalMessages() {
+		t.Fatalf("messages = %d, want %d", got.TotalMessages(), original.TotalMessages())
+	}
+	// Bodies and timestamps survive.
+	ann, err := got.Find("ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	origAnn, _ := original.Find("ann")
+	found := false
+	for _, m := range ann.Messages {
+		if m.ID == origAnn.Messages[0].ID {
+			found = true
+			if m.Body != origAnn.Messages[0].Body {
+				t.Errorf("body = %q, want %q", m.Body, origAnn.Messages[0].Body)
+			}
+			if !m.PostedAt.Equal(origAnn.Messages[0].PostedAt) {
+				t.Error("timestamp mismatch")
+			}
+			if m.Board != "garden" || m.Thread == "" {
+				t.Errorf("board/thread lost: %q %q", m.Board, m.Thread)
+			}
+		}
+	}
+	if !found {
+		t.Error("known message missing from scrape")
+	}
+	if st := sc.Stats(); st.Boards != 1 || st.Posts != original.TotalMessages() {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestScrapeRetriesTransientFailures(t *testing.T) {
+	original := sampleDataset()
+	ts := serveDataset(t, original, darkweb.Options{FailureRate: 0.3, Seed: 4})
+	sc := New(ts.URL, Options{MaxRetries: 10, BackoffBase: time.Millisecond})
+	got, err := sc.Scrape(context.Background(), "scraped", forum.PlatformTheMajesticGarden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalMessages() != original.TotalMessages() {
+		t.Errorf("lossy scrape under failures: %d vs %d", got.TotalMessages(), original.TotalMessages())
+	}
+	if sc.Stats().Retries == 0 {
+		t.Error("expected retries against a 30% failure rate")
+	}
+}
+
+func TestScrapeGivesUpEventually(t *testing.T) {
+	ts := serveDataset(t, sampleDataset(), darkweb.Options{FailureRate: 1})
+	sc := New(ts.URL, Options{MaxRetries: 2, BackoffBase: time.Millisecond})
+	if _, err := sc.Scrape(context.Background(), "x", forum.PlatformTheMajesticGarden); err == nil {
+		t.Error("permanent failures must surface an error")
+	}
+}
+
+func TestScrapeHonoursContext(t *testing.T) {
+	ts := serveDataset(t, sampleDataset(), darkweb.Options{Latency: 50 * time.Millisecond})
+	sc := New(ts.URL, Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := sc.Scrape(ctx, "x", forum.PlatformTheMajesticGarden); err == nil {
+		t.Error("cancelled scrape must return an error")
+	}
+}
+
+func TestScrapeBoardFilter(t *testing.T) {
+	d := sampleDataset()
+	// Second board with its own thread (threads are global on the server,
+	// so reusing a garden thread id would drag its posts along).
+	d.Aliases[0].Messages[0].Board = "offtopic"
+	d.Aliases[0].Messages[0].Thread = "offtopic-only"
+	ts := serveDataset(t, d, darkweb.Options{})
+	sc := New(ts.URL, Options{Boards: []string{"offtopic"}})
+	got, err := sc.Scrape(context.Background(), "x", forum.PlatformTheMajesticGarden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalMessages() != 1 {
+		t.Errorf("filtered scrape has %d messages, want 1", got.TotalMessages())
+	}
+}
+
+func TestScrapePoliteness(t *testing.T) {
+	var times []time.Time
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		times = append(times, time.Now())
+		w.Write([]byte("<html></html>"))
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	sc := New(ts.URL, Options{RequestInterval: 30 * time.Millisecond})
+	_, _ = sc.boards(context.Background())
+	_, _ = sc.boards(context.Background())
+	if len(times) != 2 {
+		t.Fatalf("requests = %d", len(times))
+	}
+	if gap := times[1].Sub(times[0]); gap < 25*time.Millisecond {
+		t.Errorf("politeness gap = %v, want ≥ 30ms", gap)
+	}
+}
+
+func TestParsePosts(t *testing.T) {
+	page := `<html><body>
+<article class="post" data-id="p1" data-author="zoe" data-board="b" data-time="2017-03-01T10:00:00Z">
+hello &amp; goodbye &lt;3
+</article>
+<article class="post" data-id="p2" data-author="zoe" data-board="b" data-time="2017-03-01T11:00:00Z">
+second
+</article>
+</body></html>`
+	posts, err := ParsePosts(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(posts) != 2 {
+		t.Fatalf("posts = %d", len(posts))
+	}
+	if posts[0].Body != "hello & goodbye <3" {
+		t.Errorf("unescaped body = %q", posts[0].Body)
+	}
+	if posts[0].PostedAt.Hour() != 10 {
+		t.Error("timestamp not parsed")
+	}
+}
+
+func TestParsePostsErrors(t *testing.T) {
+	if _, err := ParsePosts(`<article class="post" data-author="x" data-time="garbage">b</article>`); err == nil {
+		t.Error("bad timestamp must error")
+	}
+	if _, err := ParsePosts(`<article class="post" data-author="x">never closed`); err == nil {
+		t.Error("unterminated article must error")
+	}
+	posts, err := ParsePosts("<html>no posts</html>")
+	if err != nil || len(posts) != 0 {
+		t.Error("empty page must parse cleanly")
+	}
+}
+
+func TestExtractHrefs(t *testing.T) {
+	page := `<a class="board" href="/board/x">x</a> <a class="next" href="/board/x?page=1">next</a> <a href="/plain">p</a>`
+	if got := extractHrefs(page, "board"); len(got) != 1 || got[0] != "/board/x" {
+		t.Errorf("board hrefs = %v", got)
+	}
+	if got := extractHrefs(page, "next"); len(got) != 1 || !strings.Contains(got[0], "page=1") {
+		t.Errorf("next hrefs = %v", got)
+	}
+	if got := extractHrefs(page, "missing"); len(got) != 0 {
+		t.Errorf("missing class hrefs = %v", got)
+	}
+}

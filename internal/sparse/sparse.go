@@ -1,0 +1,260 @@
+// Package sparse implements the sparse vector arithmetic at the heart of
+// the attribution pipeline. Feature vectors over 65k-dimensional n-gram
+// vocabularies are overwhelmingly sparse; representing them as sorted
+// (index, value) pairs makes cosine similarity — the paper's eq. (2) — a
+// single linear merge with no hashing in the hot path.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+	"strings"
+)
+
+// Vector is a sparse vector: parallel slices of strictly increasing indices
+// and their values. The zero value is the zero vector. Vectors built by
+// FromMap or finished with Sort satisfy the ordering invariant; Dot and
+// Cosine require it.
+type Vector struct {
+	Idx []uint32
+	Val []float64
+}
+
+// FromMap builds a sorted vector from an index→value map, dropping zeros.
+func FromMap(m map[uint32]float64) Vector {
+	idx := make([]uint32, 0, len(m))
+	for i, v := range m {
+		if v != 0 {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	val := make([]float64, len(idx))
+	for k, i := range idx {
+		val[k] = m[i]
+	}
+	return Vector{Idx: idx, Val: val}
+}
+
+// FromDense builds a sparse vector from a dense slice, using positions as
+// indices and dropping zeros.
+func FromDense(dense []float64) Vector {
+	var v Vector
+	for i, x := range dense {
+		if x != 0 {
+			v.Idx = append(v.Idx, uint32(i))
+			v.Val = append(v.Val, x)
+		}
+	}
+	return v
+}
+
+// Len returns the number of stored (non-zero) entries.
+func (v Vector) Len() int { return len(v.Idx) }
+
+// IsSorted reports whether indices are strictly increasing.
+func (v Vector) IsSorted() bool {
+	for i := 1; i < len(v.Idx); i++ {
+		if v.Idx[i] <= v.Idx[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sort orders entries by index, summing values of duplicate indices.
+// Use after constructing a vector by appending. Entries are packed into
+// uint64s (index in the high half, original position in the low half) so
+// the hot path is a primitive-slice sort rather than an interface one.
+func (v *Vector) Sort() {
+	if v.IsSorted() {
+		return
+	}
+	packed := make([]uint64, len(v.Idx))
+	for k, i := range v.Idx {
+		packed[k] = uint64(i)<<32 | uint64(uint32(k))
+	}
+	slices.Sort(packed)
+	vals := make([]float64, len(v.Val))
+	copy(vals, v.Val)
+	v.Idx = v.Idx[:0]
+	v.Val = v.Val[:0]
+	for _, p := range packed {
+		i := uint32(p >> 32)
+		x := vals[uint32(p)]
+		n := len(v.Idx)
+		if n > 0 && v.Idx[n-1] == i {
+			v.Val[n-1] += x
+			continue
+		}
+		v.Idx = append(v.Idx, i)
+		v.Val = append(v.Val, x)
+	}
+}
+
+// Get returns the value at index i (0 when absent). O(log n).
+func (v Vector) Get(i uint32) float64 {
+	k := sort.Search(len(v.Idx), func(j int) bool { return v.Idx[j] >= i })
+	if k < len(v.Idx) && v.Idx[k] == i {
+		return v.Val[k]
+	}
+	return 0
+}
+
+// Dot returns the inner product of two sorted vectors.
+func Dot(a, b Vector) float64 {
+	sum := 0.0
+	i, j := 0, 0
+	for i < len(a.Idx) && j < len(b.Idx) {
+		switch {
+		case a.Idx[i] == b.Idx[j]:
+			sum += a.Val[i] * b.Val[j]
+			i++
+			j++
+		case a.Idx[i] < b.Idx[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return sum
+}
+
+// Norm returns the Euclidean norm.
+func (v Vector) Norm() float64 {
+	sum := 0.0
+	for _, x := range v.Val {
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}
+
+// Cosine returns the cosine similarity of two sorted vectors — eq. (2) of
+// the paper. Either vector being zero yields 0. With non-negative features
+// (term frequencies, activity profiles) the result lies in [0, 1].
+func Cosine(a, b Vector) float64 {
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// Scale multiplies every value by s, in place, and returns v for chaining.
+func (v Vector) Scale(s float64) Vector {
+	for i := range v.Val {
+		v.Val[i] *= s
+	}
+	return v
+}
+
+// Normalize scales v to unit norm in place (no-op for the zero vector) and
+// returns it. Pre-normalised vectors make repeated cosine computations a
+// plain dot product.
+func (v Vector) Normalize() Vector {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Clone returns a deep copy.
+func (v Vector) Clone() Vector {
+	out := Vector{Idx: make([]uint32, len(v.Idx)), Val: make([]float64, len(v.Val))}
+	copy(out.Idx, v.Idx)
+	copy(out.Val, v.Val)
+	return out
+}
+
+// Concat appends b's entries after a's, offsetting b's indices by offset.
+// It is how the paper concatenates the 24-dimensional daily activity
+// profile onto the text feature vector. offset must exceed a's largest
+// index; Concat panics otherwise because the result would be unsorted —
+// this is a programming error, not an input error.
+func Concat(a Vector, b Vector, offset uint32) Vector {
+	if len(a.Idx) > 0 && a.Idx[len(a.Idx)-1] >= offset {
+		panic(fmt.Sprintf("sparse: concat offset %d not past max index %d", offset, a.Idx[len(a.Idx)-1]))
+	}
+	out := Vector{
+		Idx: make([]uint32, 0, len(a.Idx)+len(b.Idx)),
+		Val: make([]float64, 0, len(a.Val)+len(b.Val)),
+	}
+	out.Idx = append(out.Idx, a.Idx...)
+	out.Val = append(out.Val, a.Val...)
+	for k, i := range b.Idx {
+		out.Idx = append(out.Idx, i+offset)
+		out.Val = append(out.Val, b.Val[k])
+	}
+	return out
+}
+
+// Add returns the element-wise sum of two sorted vectors.
+func Add(a, b Vector) Vector {
+	out := Vector{
+		Idx: make([]uint32, 0, len(a.Idx)+len(b.Idx)),
+		Val: make([]float64, 0, len(a.Val)+len(b.Val)),
+	}
+	i, j := 0, 0
+	for i < len(a.Idx) || j < len(b.Idx) {
+		switch {
+		case j >= len(b.Idx) || (i < len(a.Idx) && a.Idx[i] < b.Idx[j]):
+			out.Idx = append(out.Idx, a.Idx[i])
+			out.Val = append(out.Val, a.Val[i])
+			i++
+		case i >= len(a.Idx) || b.Idx[j] < a.Idx[i]:
+			out.Idx = append(out.Idx, b.Idx[j])
+			out.Val = append(out.Val, b.Val[j])
+			j++
+		default:
+			s := a.Val[i] + b.Val[j]
+			if s != 0 {
+				out.Idx = append(out.Idx, a.Idx[i])
+				out.Val = append(out.Val, s)
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Project returns a copy of v restricted to the given sorted index set.
+func Project(v Vector, keep []uint32) Vector {
+	var out Vector
+	i, j := 0, 0
+	for i < len(v.Idx) && j < len(keep) {
+		switch {
+		case v.Idx[i] == keep[j]:
+			out.Idx = append(out.Idx, v.Idx[i])
+			out.Val = append(out.Val, v.Val[i])
+			i++
+			j++
+		case v.Idx[i] < keep[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// String renders a short human-readable form, for debugging and tests.
+func (v Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for k := range v.Idx {
+		if k > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d:%.4g", v.Idx[k], v.Val[k])
+		if k >= 15 && len(v.Idx) > 17 {
+			fmt.Fprintf(&b, ", …%d more", len(v.Idx)-k-1)
+			break
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Facts are person-level biographical attributes. They are revealed in
+// messages with platform-dependent carelessness (§VI: users "let their
+// guard down" on the standard Web) and are what the §V-A manual-inspection
+// procedure compares: two aliases of the same person reveal consistent
+// facts; a false match reveals contradictory ones (age 20 vs 34, Christian
+// vs Atheist, pro- vs anti-Trump, Poland vs USA — all examples from §V-C).
+
+// FactKind enumerates biographical attributes.
+type FactKind string
+
+// The fact kinds planted by the generator, mirroring the evidence classes
+// the paper's manual evaluation relied on.
+const (
+	FactAge       FactKind = "age"
+	FactCity      FactKind = "city"
+	FactCountry   FactKind = "country"
+	FactReligion  FactKind = "religion"
+	FactPolitics  FactKind = "politics"
+	FactDrug      FactKind = "drug"
+	FactHobby     FactKind = "hobby"
+	FactPhone     FactKind = "phone"
+	FactJob       FactKind = "job"
+	FactVendorRef FactKind = "vendor-complaint"
+)
+
+// Fact is one biographical attribute with its value.
+type Fact struct {
+	Kind  FactKind `json:"kind"`
+	Value string   `json:"value"`
+}
+
+type cityCountry struct{ city, country string }
+
+var factCities = []cityCountry{
+	{"edmonton", "canada"}, {"toronto", "canada"}, {"vancouver", "canada"},
+	{"miami", "usa"}, {"new york", "usa"}, {"chicago", "usa"},
+	{"seattle", "usa"}, {"denver", "usa"}, {"austin", "usa"},
+	{"portland", "usa"}, {"london", "uk"}, {"manchester", "uk"},
+	{"berlin", "germany"}, {"hamburg", "germany"}, {"amsterdam", "netherlands"},
+	{"sydney", "australia"}, {"melbourne", "australia"},
+	{"warsaw", "poland"}, {"krakow", "poland"}, {"dublin", "ireland"},
+}
+
+var factReligions = []string{"christian", "atheist", "agnostic", "buddhist", "catholic"}
+var factPolitics = []string{"pro-trump", "anti-trump", "libertarian", "progressive", "apolitical"}
+var factDrugs = []string{"lsd", "mdma", "white molly", "mushrooms", "cannabis", "ketamine", "dmt", "2c-b"}
+var factHobbies = []string{"yoga", "cooking", "hiking", "chess", "guitar", "photography", "climbing", "fishing", "painting", "gaming"}
+var factPhones = []string{"samsung galaxy s4", "iphone 6", "pixel 2", "oneplus 5", "samsung galaxy s8", "lg g6"}
+var factJobs = []string{"student", "unemployed", "warehouse worker", "developer", "bartender", "nurse", "electrician", "delivery driver"}
+var factGames = []string{"fallout", "league of legends", "cod4", "counter strike", "overwatch", "skyrim"}
+var factVendors = []string{"greenleaf", "kiwikush", "nordicbear", "acidqueen", "mollymaster", "stealthking"}
+
+// generateFacts draws a consistent biography for a person.
+func (p *Person) generateFacts() []Fact {
+	r := subRand(p.Seed, "facts")
+	cc := factCities[r.Intn(len(factCities))]
+	facts := []Fact{
+		{FactAge, itoa(18 + r.Intn(28))},
+		{FactCity, cc.city},
+		{FactCountry, cc.country},
+		{FactReligion, factReligions[r.Intn(len(factReligions))]},
+		{FactPolitics, factPolitics[r.Intn(len(factPolitics))]},
+		{FactDrug, factDrugs[r.Intn(len(factDrugs))]},
+		{FactHobby, factHobbies[r.Intn(len(factHobbies))]},
+		{FactPhone, factPhones[r.Intn(len(factPhones))]},
+		{FactJob, factJobs[r.Intn(len(factJobs))]},
+		{FactVendorRef, factVendors[r.Intn(len(factVendors))]},
+	}
+	return facts
+}
+
+// factSentence renders a fact as a natural message fragment.
+func factSentence(r *rand.Rand, f Fact) string {
+	switch f.Kind {
+	case FactAge:
+		return pick(r,
+			fmt.Sprintf("i am %s years old btw.", f.Value),
+			fmt.Sprintf("turning %s this year, time flies.", f.Value),
+			fmt.Sprintf("as a %s year old i have seen enough of this.", f.Value))
+	case FactCity:
+		return pick(r,
+			fmt.Sprintf("i live in %s and the scene here is small.", f.Value),
+			fmt.Sprintf("greetings from %s, anyone else around here?", f.Value),
+			fmt.Sprintf("here in %s the weather has been terrible lately.", f.Value))
+	case FactCountry:
+		return pick(r,
+			fmt.Sprintf("shipping to %s is always a gamble.", f.Value),
+			fmt.Sprintf("things are different here in %s i guess.", f.Value))
+	case FactReligion:
+		return fmt.Sprintf("as a %s i try not to judge anyone here.", f.Value)
+	case FactPolitics:
+		return fmt.Sprintf("honestly my views are pretty %s these days.", f.Value)
+	case FactDrug:
+		return pick(r,
+			fmt.Sprintf("%s is my thing, everything else is secondary.", f.Value),
+			fmt.Sprintf("been taking %s regularly for a while now.", f.Value))
+	case FactHobby:
+		return pick(r,
+			fmt.Sprintf("you should all try %s, changed my life.", f.Value),
+			fmt.Sprintf("spent the whole weekend on %s again.", f.Value))
+	case FactPhone:
+		return fmt.Sprintf("typing this from my %s so excuse the typos.", f.Value)
+	case FactJob:
+		return fmt.Sprintf("work wise i am a %s at the moment.", f.Value)
+	case FactVendorRef:
+		return pick(r,
+			fmt.Sprintf("the last batch from %s was poor quality, really disappointed.", f.Value),
+			fmt.Sprintf("ordered from %s again, same story as always.", f.Value))
+	default:
+		return ""
+	}
+}
+
+func pick(r *rand.Rand, options ...string) string {
+	return options[r.Intn(len(options))]
+}
+
+// Contradicts reports whether two facts of the same kind conflict. Facts of
+// different kinds never contradict.
+func Contradicts(a, b Fact) bool {
+	return a.Kind == b.Kind && a.Value != b.Value
+}
+
+// Consistent reports whether two facts of the same kind agree.
+func Consistent(a, b Fact) bool {
+	return a.Kind == b.Kind && a.Value == b.Value
+}

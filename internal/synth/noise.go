@@ -1,0 +1,150 @@
+package synth
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Noise injection: everything the §III-C polishing pipeline exists to
+// remove. The generator plants each artefact class so the cleaning steps
+// are exercised by realistic data, not only by unit fixtures.
+
+// foreignSentences feed the non-English message injection (polishing step 7
+// removes them). A few natural sentences per language are enough — the
+// detector sees char trigrams, not topics.
+var foreignSentences = []string{
+	// Spanish
+	"la verdad es que no entiendo por qué la gente sigue comprando ahí después de tantos problemas con los envíos.",
+	"el paquete llegó dos semanas tarde pero la calidad era bastante buena, volveré a pedir al mismo vendedor.",
+	"alguien sabe si hay algún foro en español sobre estos temas? gracias de antemano por la ayuda.",
+	// German
+	"ich habe das gleiche problem mit dem versand gehabt und der verkäufer hat nie geantwortet, sehr enttäuschend.",
+	"kann jemand einen zuverlässigen anbieter empfehlen? die qualität war beim letzten mal wirklich schlecht.",
+	"das wetter hier in deutschland ist furchtbar und die preise steigen jeden monat weiter.",
+	// French
+	"je ne comprends pas pourquoi tout le monde recommande ce vendeur, ma commande n'est jamais arrivée.",
+	"la qualité était correcte mais le délai de livraison beaucoup trop long à mon avis.",
+	// Italian
+	"qualcuno ha esperienza con questo venditore? vorrei ordinare ma le recensioni sono contrastanti.",
+	"il pacco è arrivato in perfette condizioni, spedizione veloce e prodotto di ottima qualità.",
+	// Portuguese
+	"alguém pode me ajudar com uma dúvida sobre o envio para o brasil? nunca fiz isso antes.",
+	// Dutch
+	"de kwaliteit was prima maar de verzending duurde veel te lang deze keer, jammer.",
+}
+
+// spamBodies produce low-distinct-ratio messages (polishing step 6).
+func spamBody(r *rand.Rand) string {
+	phrases := []string{
+		"best quality best price best service",
+		"buy now buy now limited stock",
+		"free shipping free shipping worldwide",
+		"top vendor top product top stealth",
+		"cheap cheap cheap prices all week",
+	}
+	p := phrases[r.Intn(len(phrases))]
+	return strings.TrimSpace(strings.Repeat(p+" ", 3+r.Intn(5)))
+}
+
+// shortBody produces sub-10-word agreement messages (polishing step 5).
+func shortBody(r *rand.Rand) string {
+	options := []string{
+		"this.", "lol same", "thanks man", "agreed 100%", "yeah exactly",
+		"nice one", "no way", "so true", "good point", "this is it",
+		"came here to say this", "underrated comment", "nope.", "^ this",
+	}
+	return options[r.Intn(len(options))]
+}
+
+// fakePGPBlock builds an armored block (polishing step 11). The body is
+// gibberish base64-looking text — the stripper keys on the delimiters.
+func fakePGPBlock(r *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("-----BEGIN PGP PUBLIC KEY BLOCK-----\n")
+	b.WriteString("Version: GnuPG v2\n\n")
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+	for line := 0; line < 4+r.Intn(6); line++ {
+		for i := 0; i < 64; i++ {
+			b.WriteByte(alphabet[r.Intn(len(alphabet))])
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("=")
+	for i := 0; i < 4; i++ {
+		b.WriteByte(alphabet[r.Intn(len(alphabet))])
+	}
+	b.WriteString("\n-----END PGP PUBLIC KEY BLOCK-----")
+	return b.String()
+}
+
+// asciiArtToken returns an overlong token (polishing step 12).
+func asciiArtToken(r *rand.Rand) string {
+	chars := []string{"=", "-", "~", "#", "*"}
+	c := chars[r.Intn(len(chars))]
+	return strings.Repeat(c, 40+r.Intn(40))
+}
+
+// quotedLines prepends Reddit-style quote lines (polishing step 8).
+func quotedLines(r *rand.Rand, style *Style, topic string) string {
+	n := 1 + r.Intn(2)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString("> ")
+		b.WriteString(style.GenerateSentence(r, topic))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// editMark appends a platform edit marker (polishing step 9).
+func editMark(r *rand.Rand, nickname string) string {
+	options := []string{
+		"\nEdit by " + nickname + ": fixed a typo",
+		"\nEdit: typo",
+		"\nEdited by " + nickname,
+		"\nEDIT: forgot to mention the price",
+	}
+	return options[r.Intn(len(options))]
+}
+
+// mailSnippet embeds an email address (polishing step 10).
+func mailSnippet(r *rand.Rand, nickname string) string {
+	domains := []string{"protonmail.com", "tutanota.com", "mail.ru", "gmail.com", "secmail.pro"}
+	return " contact me at " + strings.ToLower(nickname) + "@" + domains[r.Intn(len(domains))] + " for details."
+}
+
+// urlSnippet embeds a raw URL (polishing step 3).
+func urlSnippet(r *rand.Rand) string {
+	urls := []string{
+		"https://www.reddit.com/r/DarkNetMarkets/comments/abc123",
+		"http://lchudifyeqm4ldjj.onion/forum/thread/991",
+		"https://blockchain.info/tx/deadbeef",
+		"https://imgur.com/gallery/xyz987",
+		"http://talismanrestz7mr.onion/index.php?topic=42",
+		"https://www.youtube.com/watch?v=dQw4w9WgXcQ",
+	}
+	return " check " + urls[r.Intn(len(urls))] + " for more."
+}
+
+// referralURL is the nickname-bearing link of the §V-C evidence story.
+func referralURL(nickname string) string {
+	return "https://paymore.example.com/ref/" + strings.ToLower(nickname)
+}
+
+// botBodies gives a bot a small fixed repertoire it repeats verbatim.
+func botBodies(r *rand.Rand) []string {
+	templates := []string{
+		"I am a bot, this action was performed automatically. Please contact the moderators with any questions about this removal or action.",
+		"Your submission has been removed because it does not follow rule 4 of this community. Please review the sidebar before posting again here.",
+		"Reminder: never share personal information or payment details in public threads. Stay safe and use the escrow system provided by the market.",
+		"This thread has been locked automatically after reaching the comment limit configured by the moderators of this community. Thank you for participating.",
+		"Daily backup complete. Uptime report follows for all monitored mirrors and services across the network during the last twenty four hours.",
+	}
+	n := 2 + r.Intn(2)
+	out := make([]string, n)
+	perm := r.Perm(len(templates))
+	for i := 0; i < n; i++ {
+		out[i] = templates[perm[i]]
+	}
+	return out
+}

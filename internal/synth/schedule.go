@@ -1,0 +1,69 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// The circadian model: a person posts according to a two-peak wrapped
+// Gaussian mixture over local hours plus a uniform background, shifted by
+// the person's timezone. This is the signal the daily-activity profile of
+// §IV-B exploits; its strength (peak widths, uniform fraction) controls how
+// much the activity feature helps attribution — Fig. 4 of the paper.
+
+// SampleHourLocal draws a local posting hour (continuous, in [0, 24)).
+func (p *Person) SampleHourLocal(r *rand.Rand) float64 {
+	x := r.Float64()
+	switch {
+	case x < p.uniformProb:
+		return 24 * r.Float64()
+	case x < p.uniformProb+p.secondProb:
+		return wrap24(p.secondPeak + p.secondWidth*r.NormFloat64())
+	default:
+		return wrap24(p.peakHour + p.peakWidth*r.NormFloat64())
+	}
+}
+
+func wrap24(h float64) float64 {
+	h = math.Mod(h, 24)
+	if h < 0 {
+		h += 24
+	}
+	return h
+}
+
+// SampleTimestamps draws n posting timestamps for the person within
+// [start, end), expressed in UTC. Posting days are drawn uniformly
+// (weekend posting happens too — polishing is what excludes it later),
+// hours from the circadian model, then the local time is converted to UTC
+// using the person's timezone.
+func (p *Person) SampleTimestamps(r *rand.Rand, n int, start, end time.Time) []time.Time {
+	if n <= 0 || !end.After(start) {
+		return nil
+	}
+	days := int(end.Sub(start).Hours() / 24)
+	if days < 1 {
+		days = 1
+	}
+	out := make([]time.Time, n)
+	for i := range out {
+		day := start.AddDate(0, 0, r.Intn(days))
+		h := p.SampleHourLocal(r)
+		hour := int(h)
+		minute := int((h - float64(hour)) * 60)
+		second := r.Intn(60)
+		local := time.Date(day.Year(), day.Month(), day.Day(), hour, minute, second, 0, time.UTC)
+		// local is the person's wall clock; UTC = local − offset.
+		out[i] = local.Add(-time.Duration(p.TZOffsetMinutes) * time.Minute)
+	}
+	return out
+}
+
+// Year2017 is the sampling window used by default: the paper notes that
+// "almost all the posts in the datasets were written in the same year,
+// 2017".
+var (
+	Year2017Start = time.Date(2017, 1, 2, 0, 0, 0, 0, time.UTC)
+	Year2017End   = time.Date(2017, 12, 30, 0, 0, 0, 0, time.UTC)
+)

@@ -1,0 +1,337 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Style is a Person instantiated on a concrete forum: the persistent word
+// affinities are materialised into cumulative-weight tables per word pool
+// so message generation is O(log pool) per word. Styles are built per
+// (person, forum) and discarded after the person's messages are generated.
+type Style struct {
+	p         *Person
+	forumHash uint64
+	drift     float64
+
+	pools map[string]*weightedPool // keyed by pool name
+	// mix is the per-message dilution toward population-average word
+	// choice, redrawn by GenerateMessage.
+	mix float64
+	// tmplCum are cumulative per-person weights over sentence templates —
+	// sentence-structure habits are among the strongest word-bigram
+	// signatures a person has.
+	tmplCum []float64
+}
+
+type weightedPool struct {
+	words []string
+	cum   []float64 // cumulative weights
+}
+
+func newWeightedPool(p *Person, words []string, forumHash uint64, drift, strengthScale float64) *weightedPool {
+	wp := &weightedPool{words: words, cum: make([]float64, len(words))}
+	total := 0.0
+	for i, w := range words {
+		total += p.wordAffinityScaled(w, forumHash, drift, strengthScale)
+		wp.cum[i] = total
+	}
+	return wp
+}
+
+// functionWordStyleScale damps per-person preferences over closed-class
+// words (determiners, prepositions, pronouns, auxiliaries). Real people
+// differ far less in "the vs a" than in content-word choice; leaving the
+// full strength on function words makes even an IDF-less char-4-gram
+// cosine (the Standard baseline) separate users, which the paper shows it
+// cannot.
+const functionWordStyleScale = 0.35
+
+// sample draws a word according to the person's affinities, diluted by
+// the style's current per-message mix: with probability mix the word is
+// drawn uniformly from the pool instead. The mix models mood/topic drift
+// within a user — real users do not sample from a fixed distribution, and
+// this within-user variance is what starves an IDF-less cosine of signal
+// while the stable idiosyncrasies (typos, slang, phrases, punctuation,
+// schedule) keep carrying it.
+func (wp *weightedPool) sample(r *rand.Rand, mix float64) string {
+	if len(wp.words) == 0 {
+		return ""
+	}
+	if mix > 0 && r.Float64() < mix {
+		return wp.words[r.Intn(len(wp.words))]
+	}
+	x := r.Float64() * wp.cum[len(wp.cum)-1]
+	lo, hi := 0, len(wp.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if wp.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return wp.words[lo]
+}
+
+// NewStyle materialises the person's style on a forum. drift controls how
+// much word preferences shift between platforms (§I: "people might behave
+// differently and use different writing styles when in the standard Web").
+func (p *Person) NewStyle(forumID string, drift float64) *Style {
+	fh := hashString(forumID)
+	s := &Style{p: p, forumHash: fh, drift: drift, pools: make(map[string]*weightedPool, 16)}
+	s.pools["pron"] = newWeightedPool(p, pronounsSubject, fh, drift, functionWordStyleScale)
+	s.pools["det"] = newWeightedPool(p, determiners, fh, drift, functionWordStyleScale)
+	s.pools["prep"] = newWeightedPool(p, prepositions, fh, drift, functionWordStyleScale)
+	s.pools["conj"] = newWeightedPool(p, conjunctions, fh, drift, functionWordStyleScale)
+	s.pools["aux"] = newWeightedPool(p, auxiliaries, fh, drift, functionWordStyleScale)
+	s.pools["adv"] = newWeightedPool(p, commonAdverbs, fh, drift, 0.6)
+	s.pools["slang"] = newWeightedPool(p, p.slang, fh, 0, 1) // personal habits do not drift
+	s.pools["phrase"] = newWeightedPool(p, p.phrases, fh, 0, 1)
+	s.pools["opener"] = newWeightedPool(p, p.openers, fh, 0, 1)
+	s.tmplCum = make([]float64, len(sentenceTemplates))
+	total := 0.0
+	for i := range sentenceTemplates {
+		// Template affinities: people reuse a handful of sentence shapes,
+		// but sentence structure is also what an IDF-less char-gram cosine
+		// sees best, so the preference is kept moderate.
+		z := gauss(hash2(p.Seed, hashString("tmpl:"+sentenceTemplates[i])))
+		total += mathExp(1.2 * p.StyleStrength * z)
+		s.tmplCum[i] = total
+	}
+	return s
+}
+
+func mathExp(x float64) float64 { return math.Exp(x) }
+
+func (s *Style) sampleTemplate(r *rand.Rand) string {
+	if s.mix > 0 && r.Float64() < s.mix {
+		return sentenceTemplates[r.Intn(len(sentenceTemplates))]
+	}
+	x := r.Float64() * s.tmplCum[len(s.tmplCum)-1]
+	lo, hi := 0, len(s.tmplCum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.tmplCum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return sentenceTemplates[lo]
+}
+
+// topicPools returns (lazily building) the noun/verb/adjective pools for a
+// topic under this style.
+func (s *Style) topicPool(kind, topic string) *weightedPool {
+	key := kind + "\x00" + topic
+	if wp, ok := s.pools[key]; ok {
+		return wp
+	}
+	m := topicMerged[topic]
+	var words []string
+	switch kind {
+	case "noun":
+		words = m.nouns
+	case "verb":
+		words = m.verbs
+	case "adj":
+		words = m.adjectives
+	default:
+		words = genericNouns
+	}
+	if len(words) == 0 {
+		words = genericNouns
+	}
+	wp := newWeightedPool(s.p, words, s.forumHash, s.drift, 1)
+	s.pools[key] = wp
+	return wp
+}
+
+// Sentence templates. Each rune selects a slot:
+//
+//	P pronoun  V verb  D determiner  N noun  A adjective  R adverb
+//	E preposition  C conjunction  X auxiliary  G slang
+var sentenceTemplates = []string{
+	"PVDAN",
+	"PXVDN",
+	"PVDNEDN",
+	"DNVRA",
+	"PRVDAN",
+	"PVCVDN",
+	"DANVEDN",
+	"PXRVDN",
+	"PVDNCPVDN",
+	"RPVDAN",
+	"PVEDAN",
+	"DNEDNVA",
+	"PXVANEDN",
+	"PVANG",
+	"GPVDN",
+	"PVRA",
+	"DNXVR",
+	"PRVEDN",
+	"PVDNEDAN",
+	"CPVDNPVA",
+}
+
+// GenerateSentence produces one sentence of roughly the person's habitual
+// length on the given topic.
+func (s *Style) GenerateSentence(r *rand.Rand, topic string) string {
+	p := s.p
+	var words []string
+
+	if r.Float64() < p.openerRate {
+		words = append(words, s.pools["opener"].sample(r, 0))
+	}
+	if r.Float64() < p.phraseRate {
+		words = append(words, strings.Fields(s.pools["phrase"].sample(r, 0))...)
+	}
+
+	target := int(lognormal(r, p.sentLenMu, p.sentLenSigma))
+	if target < 3 {
+		target = 3
+	}
+	if target > 28 {
+		target = 28
+	}
+	for len(words) < target {
+		tmpl := s.sampleTemplate(r)
+		for _, slot := range tmpl {
+			if len(words) >= target+4 {
+				break
+			}
+			var w string
+			switch slot {
+			case 'P':
+				w = s.pools["pron"].sample(r, s.mix)
+			case 'V':
+				w = s.topicPool("verb", topic).sample(r, s.mix)
+			case 'D':
+				w = s.pools["det"].sample(r, s.mix)
+			case 'N':
+				w = s.topicPool("noun", topic).sample(r, s.mix)
+			case 'A':
+				w = s.topicPool("adj", topic).sample(r, s.mix)
+			case 'R':
+				w = s.pools["adv"].sample(r, s.mix)
+			case 'E':
+				w = s.pools["prep"].sample(r, s.mix)
+			case 'C':
+				w = s.pools["conj"].sample(r, s.mix)
+			case 'X':
+				w = s.pools["aux"].sample(r, s.mix)
+			case 'G':
+				if len(s.p.slang) > 0 && r.Float64() < p.slangRate*4 {
+					w = s.pools["slang"].sample(r, 0)
+				}
+			}
+			if w == "" {
+				continue
+			}
+			w = p.applyOrthography(r, w)
+			if r.Float64() < p.emphasisRate {
+				w = "*" + w + "*"
+			}
+			words = append(words, w)
+			// Habitual mid-sentence comma.
+			if r.Float64() < p.commaRate/float64(target) && len(words) > 2 {
+				words[len(words)-1] += ","
+			}
+		}
+	}
+	if r.Float64() < p.digitRate {
+		words = append(words, digitToken(r))
+	}
+	if r.Float64() < p.slangRate {
+		words = append(words, s.pools["slang"].sample(r, 0))
+	}
+	if r.Float64() < p.parenRate && len(words) > 4 {
+		k := 1 + r.Intn(2)
+		at := len(words) - k
+		words[at] = "(" + words[at]
+		words[len(words)-1] += ")"
+	}
+
+	sentence := strings.Join(words, " ")
+	if !p.lowercaseOnly && len(sentence) > 0 {
+		sentence = strings.ToUpper(sentence[:1]) + sentence[1:]
+	}
+	switch x := r.Float64(); {
+	case x < p.ellipsisRate:
+		sentence += "..."
+	case x < p.ellipsisRate+p.exclaimRate:
+		sentence += "!"
+	case x < p.ellipsisRate+p.exclaimRate+p.questionRate:
+		sentence += "?"
+	default:
+		sentence += "."
+	}
+	if r.Float64() < p.emojiRate {
+		sentence += " " + emojiPool[r.Intn(len(emojiPool))]
+	}
+	return sentence
+}
+
+// GenerateMessage produces a message of roughly targetWords words on topic.
+// Each message draws a fresh style dilution (mood): between 20% and 75% of
+// open-class word choices ignore the person's preferences.
+func (s *Style) GenerateMessage(r *rand.Rand, topic string, targetWords int) string {
+	s.mix = 0.20 + 0.50*r.Float64()
+	var b strings.Builder
+	wordCount := 0
+	for wordCount < targetWords {
+		sent := s.GenerateSentence(r, topic)
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(sent)
+		wordCount += len(strings.Fields(sent))
+	}
+	return b.String()
+}
+
+// PickTopic samples a topic according to the person's interests, restricted
+// to the allowed set (nil means all topics).
+func (p *Person) PickTopic(r *rand.Rand, allowed []string) string {
+	if allowed == nil {
+		allowed = Topics
+	}
+	weights := make([]float64, len(allowed))
+	for i, t := range allowed {
+		weights[i] = p.topicPrefs[t]
+	}
+	i := weightedIndex(r, weights)
+	if i < 0 {
+		return allowed[0]
+	}
+	return allowed[i]
+}
+
+func digitToken(r *rand.Rand) string {
+	switch r.Intn(4) {
+	case 0:
+		return itoa(5 * (1 + r.Intn(20))) // price-ish round number
+	case 1:
+		return itoa(1 + r.Intn(100))
+	case 2:
+		return itoa(1+r.Intn(10)) + "." + itoa(r.Intn(10)) // rating
+	default:
+		return itoa(2010 + r.Intn(10)) // year
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,217 @@
+package tokenize
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func texts(toks []Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	tests := []struct {
+		name      string
+		input     string
+		wantText  []string
+		wantKinds []Kind
+	}{
+		{
+			name:      "plain words",
+			input:     "hello world",
+			wantText:  []string{"hello", "world"},
+			wantKinds: []Kind{KindWord, KindWord},
+		},
+		{
+			name:      "apostrophe and hyphen stay internal",
+			input:     "don't e-mail me",
+			wantText:  []string{"don't", "e-mail", "me"},
+			wantKinds: []Kind{KindWord, KindWord, KindWord},
+		},
+		{
+			name:      "trailing apostrophe splits off",
+			input:     "dogs' bones",
+			wantText:  []string{"dogs", "'", "bones"},
+			wantKinds: []Kind{KindWord, KindPunct, KindWord},
+		},
+		{
+			name:      "numbers with separators",
+			input:     "paid 1,000.50 at 12:30",
+			wantText:  []string{"paid", "1,000.50", "at", "12:30"},
+			wantKinds: []Kind{KindWord, KindNumber, KindWord, KindNumber},
+		},
+		{
+			name:      "punctuation",
+			input:     "wait... what?!",
+			wantText:  []string{"wait", ".", ".", ".", "what", "?", "!"},
+			wantKinds: []Kind{KindWord, KindPunct, KindPunct, KindPunct, KindWord, KindPunct, KindPunct},
+		},
+		{
+			name:      "scheme URL",
+			input:     "see https://example.com/path?q=1 now",
+			wantText:  []string{"see", "https://example.com/path?q=1", "now"},
+			wantKinds: []Kind{KindWord, KindURL, KindWord},
+		},
+		{
+			name:      "URL with trailing sentence punctuation",
+			input:     "go to http://a.onion/x.",
+			wantText:  []string{"go", "to", "http://a.onion/x", "."},
+			wantKinds: []Kind{KindWord, KindWord, KindURL, KindPunct},
+		},
+		{
+			name:      "bare domain",
+			input:     "www.reddit.com rocks",
+			wantText:  []string{"www.reddit.com", "rocks"},
+			wantKinds: []Kind{KindURL, KindWord},
+		},
+		{
+			name:      "email",
+			input:     "mail me at bob@example.com thanks",
+			wantText:  []string{"mail", "me", "at", "bob@example.com", "thanks"},
+			wantKinds: []Kind{KindWord, KindWord, KindWord, KindEmail, KindWord},
+		},
+		{
+			name:      "emoji",
+			input:     "nice 🔥 stuff",
+			wantText:  []string{"nice", "🔥", "stuff"},
+			wantKinds: []Kind{KindWord, KindEmoji, KindWord},
+		},
+		{
+			name:      "symbols",
+			input:     "a + b = c",
+			wantText:  []string{"a", "+", "b", "=", "c"},
+			wantKinds: []Kind{KindWord, KindSymbol, KindWord, KindSymbol, KindWord},
+		},
+		{
+			name:      "empty",
+			input:     "   \n\t ",
+			wantText:  []string{},
+			wantKinds: []Kind{},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			toks := Tokenize(tt.input)
+			gotText, gotKinds := texts(toks), kinds(toks)
+			if len(gotText) != len(tt.wantText) {
+				t.Fatalf("got %v (%v), want %v", gotText, gotKinds, tt.wantText)
+			}
+			for i := range tt.wantText {
+				if gotText[i] != tt.wantText[i] || gotKinds[i] != tt.wantKinds[i] {
+					t.Errorf("token %d = (%q, %v), want (%q, %v)",
+						i, gotText[i], gotKinds[i], tt.wantText[i], tt.wantKinds[i])
+				}
+			}
+		})
+	}
+}
+
+func TestWords(t *testing.T) {
+	got := Words("The QUICK brown-ish fox, 42 times! https://x.com")
+	want := []string{"the", "quick", "brown-ish", "fox", "times"}
+	if len(got) != len(want) {
+		t.Fatalf("Words = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Words[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenPositions(t *testing.T) {
+	input := "abc déf ghi"
+	for _, tok := range Tokenize(input) {
+		if !strings.HasPrefix(input[tok.Pos:], tok.Text) {
+			t.Errorf("token %q at pos %d does not match source", tok.Text, tok.Pos)
+		}
+	}
+}
+
+func TestStripEmoji(t *testing.T) {
+	tests := []struct {
+		in, want string
+	}{
+		{"hello 😂 world", "hello  world"},
+		{"no emoji here", "no emoji here"},
+		{"🔥🔥🔥", ""},
+		{"flag 🇺🇸 end", "flag  end"},
+		{"keep ünïcode", "keep ünïcode"},
+	}
+	for _, tt := range tests {
+		if got := StripEmoji(tt.in); got != tt.want {
+			t.Errorf("StripEmoji(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestStripPGP(t *testing.T) {
+	block := "-----BEGIN PGP PUBLIC KEY BLOCK-----\nVersion: 2\n\nAAAA\nBBBB\n=XX\n-----END PGP PUBLIC KEY BLOCK-----"
+	tests := []struct {
+		name, in, want string
+	}{
+		{"block removed", "before\n" + block + "\nafter", "before\n\nafter"},
+		{"unterminated removed to end", "text " + "-----BEGIN PGP MESSAGE-----\nAAAA", "text"},
+		{"no pgp untouched", "just text", "just text"},
+		{"two blocks", block + " mid " + block, " mid "},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := StripPGP(tt.in); got != tt.want {
+				t.Errorf("StripPGP = %q, want %q", got, tt.want)
+			}
+		})
+	}
+	if !ContainsPGP(block) || ContainsPGP("nope") {
+		t.Error("ContainsPGP misdetects")
+	}
+}
+
+// Property: every token's text appears at its recorded position, and
+// tokenisation never invents characters not present in the input.
+func TestTokenizeProperty(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok.Pos < 0 || tok.Pos >= len(s) {
+				return false
+			}
+			if !strings.HasPrefix(s[tok.Pos:], tok.Text) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: StripEmoji output contains no emoji and is a subsequence of
+// the input.
+func TestStripEmojiProperty(t *testing.T) {
+	f := func(s string) bool {
+		out := StripEmoji(s)
+		for _, r := range out {
+			if IsEmoji(r) {
+				return false
+			}
+		}
+		return len(out) <= len(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
