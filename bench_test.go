@@ -500,6 +500,73 @@ func BenchmarkAblationBatchSize(b *testing.B) {
 	b.ReportMetric(100*accs[2], "acc-B200-%")
 }
 
+// ------------------------------------------- matcher hot-path regression
+
+// The three benchmarks below are the perf-regression trajectory for the
+// two-stage matcher hot path. cmd/benchdiff runs exactly these and emits
+// BENCH_matcher.json; keep their names and shapes stable so before/after
+// numbers stay comparable across PRs.
+
+// BenchmarkRank measures stage-1 candidate ranking (§IV-C) in isolation:
+// one unknown scored against the full known set, top-k selected.
+func BenchmarkRank(b *testing.B) {
+	known, probes := benchSubjects(b)
+	m, err := attribution.NewMatcher(known, attribution.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Rank(&probes[i%len(probes)], 10)
+	}
+}
+
+// BenchmarkRescore measures stage-2 (§IV-E): per-candidate re-extraction,
+// TF-IDF rebuild over the candidate subset, and cosine rescoring.
+func BenchmarkRescore(b *testing.B) {
+	known, probes := benchSubjects(b)
+	m, err := attribution.NewMatcher(known, attribution.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cands := make([][]attribution.Scored, len(probes))
+	for i := range probes {
+		cands[i] = m.Rank(&probes[i], 10)
+	}
+	// One warm pass so ops measure the steady-state per-query cost; the
+	// first touch of each candidate populates the matcher's lazy document
+	// cache, which is construction cost, not per-query cost.
+	for i := range probes {
+		m.Rescore(&probes[i], cands[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(probes)
+		m.Rescore(&probes[j], cands[j])
+	}
+}
+
+// BenchmarkMatchAll measures the full §IV-I algorithm over every probe at
+// lab scale (0.03, default options) — the headline end-to-end number.
+func BenchmarkMatchAll(b *testing.B) {
+	known, probes := benchSubjects(b)
+	m, err := attribution.NewMatcher(known, attribution.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm pass: populates the matcher's lazy per-subject caches so every
+	// measured op sees the steady state a long-running matcher runs in.
+	if _, err := m.MatchAll(context.Background(), probes); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.MatchAll(context.Background(), probes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ---------------------------------------------------------- micro-benches
 
 func BenchmarkExtractReductionFeatures(b *testing.B) {

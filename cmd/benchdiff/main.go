@@ -1,0 +1,196 @@
+// Command benchdiff runs the matcher hot-path benchmarks (BenchmarkRank,
+// BenchmarkRescore, BenchmarkMatchAll in the repository root) and records
+// their results in BENCH_matcher.json — the repo's perf-regression
+// trajectory. Run it once from the commit you are starting from and once
+// after your change:
+//
+//	go run ./cmd/benchdiff -phase before
+//	go run ./cmd/benchdiff -phase after
+//
+// Phases merge into one file; when both are present a speedup factor
+// (before ns/op divided by after ns/op) is computed per benchmark. Each
+// phase stores the median of -count samples, so a single noisy run does
+// not skew the trajectory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one phase's measurement of one benchmark (medians over the
+// -count samples).
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Samples     int     `json:"samples"`
+}
+
+// Entry pairs the two phases of one benchmark.
+type Entry struct {
+	Before *Metrics `json:"before,omitempty"`
+	After  *Metrics `json:"after,omitempty"`
+	// Speedup is before.ns_per_op / after.ns_per_op (>1 means faster).
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// File is the BENCH_matcher.json schema.
+type File struct {
+	Description string            `json:"description"`
+	GoVersion   string            `json:"go_version"`
+	CPU         string            `json:"cpu,omitempty"`
+	Benchmarks  map[string]*Entry `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	phase := flag.String("phase", "", "which side of the change this run measures: before | after")
+	count := flag.Int("count", 3, "benchmark sample count (median is recorded)")
+	out := flag.String("out", "BENCH_matcher.json", "trajectory file to create or merge into")
+	pattern := flag.String("bench", "^(BenchmarkRank|BenchmarkRescore|BenchmarkMatchAll)$", "benchmark selection pattern")
+	pkg := flag.String("pkg", ".", "package containing the benchmarks")
+	flag.Parse()
+	if *phase != "before" && *phase != "after" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -phase must be 'before' or 'after'")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *pattern, "-benchmem", "-count", strconv.Itoa(*count), *pkg)
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: go test -bench failed: %v\n%s", err, outBytes)
+		os.Exit(1)
+	}
+	os.Stdout.Write(outBytes)
+
+	samples, cpu := parse(string(outBytes))
+	if len(samples) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark results parsed")
+		os.Exit(1)
+	}
+
+	f := load(*out)
+	f.GoVersion = runtime.Version()
+	if cpu != "" {
+		f.CPU = cpu
+	}
+	for name, ms := range samples {
+		short := strings.TrimPrefix(name, "Benchmark")
+		e := f.Benchmarks[short]
+		if e == nil {
+			e = &Entry{}
+			f.Benchmarks[short] = e
+		}
+		med := median(ms)
+		if *phase == "before" {
+			e.Before = &med
+		} else {
+			e.After = &med
+		}
+		if e.Before != nil && e.After != nil && e.After.NsPerOp > 0 {
+			e.Speedup = round3(e.Before.NsPerOp / e.After.NsPerOp)
+		} else {
+			e.Speedup = 0
+		}
+	}
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: recorded %q phase for %d benchmarks in %s\n", *phase, len(samples), *out)
+}
+
+// parse collects every sample per benchmark name plus the reported CPU.
+func parse(output string) (map[string][]Metrics, string) {
+	samples := make(map[string][]Metrics)
+	cpu := ""
+	for _, line := range strings.Split(output, "\n") {
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		var s Metrics
+		s.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			s.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+		}
+		if m[4] != "" {
+			s.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		samples[m[1]] = append(samples[m[1]], s)
+	}
+	return samples, cpu
+}
+
+// median takes the per-field median so one outlier run cannot skew the
+// recorded trajectory point.
+func median(ms []Metrics) Metrics {
+	pick := func(get func(Metrics) float64) float64 {
+		vs := make([]float64, len(ms))
+		for i, m := range ms {
+			vs[i] = get(m)
+		}
+		sort.Float64s(vs)
+		n := len(vs)
+		if n%2 == 1 {
+			return vs[n/2]
+		}
+		return (vs[n/2-1] + vs[n/2]) / 2
+	}
+	return Metrics{
+		NsPerOp:     pick(func(m Metrics) float64 { return m.NsPerOp }),
+		BytesPerOp:  pick(func(m Metrics) float64 { return m.BytesPerOp }),
+		AllocsPerOp: pick(func(m Metrics) float64 { return m.AllocsPerOp }),
+		Samples:     len(ms),
+	}
+}
+
+func load(path string) *File {
+	f := &File{
+		Description: "Matcher hot-path benchmark trajectory. Regenerate with `go run ./cmd/benchdiff -phase before|after`; medians of -count runs, ns/op ratios in `speedup`.",
+		Benchmarks:  make(map[string]*Entry),
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f
+	}
+	var existing File
+	if err := json.Unmarshal(data, &existing); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: ignoring unreadable %s: %v\n", path, err)
+		return f
+	}
+	if existing.Benchmarks == nil {
+		existing.Benchmarks = make(map[string]*Entry)
+	}
+	if existing.Description == "" {
+		existing.Description = f.Description
+	}
+	return &existing
+}
+
+func round3(x float64) float64 {
+	return float64(int64(x*1000+0.5)) / 1000
+}

@@ -113,6 +113,48 @@ type Matcher struct {
 	// blocks (nil entries when absent).
 	freqs [][]float64
 	acts  [][]float64
+	// byName maps a known subject's name to its index (last wins on
+	// duplicates, matching historical Rescore behaviour).
+	byName map[string]int
+	// finalDocs lazily caches the stage-2 (Final-config) extraction of each
+	// known subject: the same prolific candidates surface in top-k after
+	// top-k, and re-extracting their 1,500-word documents per query is the
+	// single largest cost of Rescore. Only subjects that actually appear in
+	// a candidate list are ever materialised.
+	finalDocs *features.DocCache
+	// sameExtract records that the reduction and final configs produce
+	// identical raw extractions (they differ only in vocabulary budgets in
+	// the paper's setup), letting Match share one unknown-document
+	// extraction across both stages.
+	sameExtract bool
+}
+
+// matchBuffers is per-worker scratch reused across Match calls: the dense
+// score accumulators sized to the known set and the top-k heap. Each
+// MatchAll worker owns one; the exported entry points pass nil and
+// allocate per call.
+type matchBuffers struct {
+	scores   []float64
+	scores32 []float32
+	heap     []heapEntry
+}
+
+// scoreBufs returns zeroed float64/float32 accumulators of length n,
+// reusing capacity from earlier queries.
+func (b *matchBuffers) scoreBufs(n int) ([]float64, []float32) {
+	if cap(b.scores) < n {
+		b.scores = make([]float64, n)
+	} else {
+		b.scores = b.scores[:n]
+		clear(b.scores)
+	}
+	if cap(b.scores32) < n {
+		b.scores32 = make([]float32, n)
+	} else {
+		b.scores32 = b.scores32[:n]
+		clear(b.scores32)
+	}
+	return b.scores, b.scores32
 }
 
 type posting struct {
@@ -170,6 +212,18 @@ func NewMatcher(known []Subject, opts Options) (*Matcher, error) {
 			m.postings[idx] = append(m.postings[idx], posting{subject: i, value: float32(b.grams.Val[k])})
 		}
 	}
+
+	// Stage-2 support structures, hoisted out of Rescore: the name index
+	// (previously rebuilt on every call) and the lazy Final-config doc
+	// cache (previously re-extracted on every call).
+	m.byName = make(map[string]int, len(known))
+	texts := make([]string, len(known))
+	for i := range known {
+		m.byName[known[i].Name] = i
+		texts[i] = known[i].Text
+	}
+	m.finalDocs = features.NewDocCache(opts.Final, texts)
+	m.sameExtract = opts.Reduction.SameExtraction(opts.Final)
 	return m, nil
 }
 
@@ -219,18 +273,33 @@ func (m *Matcher) Rank(unknown *Subject, k int) []Scored {
 // first. One index serves any weighting: Table III and Fig. 4 compare
 // "text only" (Activity 0) against "all features" from the same matcher.
 func (m *Matcher) RankWith(unknown *Subject, k int, w Weights) []Scored {
+	doc := features.Extract(unknown.Text, m.opts.Reduction)
+	return m.rankDoc(doc, unknown, k, w, nil)
+}
+
+// rankDoc is RankWith over an already-extracted reduction-config document,
+// with optional per-worker scratch buffers.
+func (m *Matcher) rankDoc(doc *features.Doc, unknown *Subject, k int, w Weights, buf *matchBuffers) []Scored {
 	if k <= 0 {
 		k = m.opts.K
 	}
-	ub := buildBlocks(unknown, m.vocab, m.opts.Reduction)
+	ub := buildBlocksFromDoc(doc, unknown, m.vocab)
 	uNorm := ub.norm(w)
-	scores := make([]float64, len(m.known))
+	var scores []float64
+	var tdots []float32
+	var scratch *[]heapEntry
+	if buf != nil {
+		scores, tdots = buf.scoreBufs(len(m.known))
+		scratch = &buf.heap
+	} else {
+		scores = make([]float64, len(m.known))
+		tdots = make([]float32, len(m.known))
+	}
 	if uNorm == 0 {
-		return topKScores(m.known, scores, k)
+		return topKScores(m.known, scores, k, scratch)
 	}
 
 	// Gram block via the inverted index.
-	tdots := make([]float32, len(m.known))
 	for j, idx := range ub.grams.Idx {
 		v := float32(ub.grams.Val[j])
 		for _, p := range m.postings[idx] {
@@ -254,7 +323,7 @@ func (m *Matcher) RankWith(unknown *Subject, k int, w Weights) []Scored {
 		}
 		scores[i] = dot / (uNorm * kn)
 	}
-	return topKScores(m.known, scores, k)
+	return topKScores(m.known, scores, k, scratch)
 }
 
 // normOf is blocks.norm computed from block presence alone (each block is
@@ -273,57 +342,44 @@ func normOf(hasGrams, hasFreq, hasAct bool, w Weights) float64 {
 	return math.Sqrt(n)
 }
 
-// topKScores selects the k best (score, name) pairs; ties break by name
-// for determinism.
-func topKScores(known []Subject, scores []float64, k int) []Scored {
-	if k > len(scores) {
-		k = len(scores)
-	}
-	idx := make([]int, len(scores))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool {
-		if scores[idx[a]] != scores[idx[b]] {
-			return scores[idx[a]] > scores[idx[b]]
-		}
-		return known[idx[a]].Name < known[idx[b]].Name
-	})
-	out := make([]Scored, 0, k)
-	for _, i := range idx[:k] {
-		out = append(out, Scored{Name: known[i].Name, Score: scores[i]})
-	}
-	return out
-}
-
 // Rescore runs stage 2 on a candidate list: rebuild the vocabulary and
 // TF-IDF over only the candidates' documents (changing the selected
 // n-grams and hence every vector, including the unknown's), then rescore
-// by cosine under the matcher's weights.
+// by cosine under the matcher's weights. Candidate documents come from the
+// matcher's lazy Final-config cache, so repeat candidates cost one
+// extraction per matcher lifetime, not one per query.
 func (m *Matcher) Rescore(unknown *Subject, candidates []Scored) []Scored {
-	byName := make(map[string]*Subject, len(m.known))
-	for i := range m.known {
-		byName[m.known[i].Name] = &m.known[i]
-	}
-	subjects := make([]*Subject, 0, len(candidates))
+	return m.rescoreDoc(nil, unknown, candidates)
+}
+
+// rescoreDoc is Rescore with an optional pre-extracted unknown document
+// (valid only when the reduction and final configs share extraction —
+// Match checks m.sameExtract before passing one).
+func (m *Matcher) rescoreDoc(udoc *features.Doc, unknown *Subject, candidates []Scored) []Scored {
+	idxs := make([]int, 0, len(candidates))
 	for _, c := range candidates {
-		if s, ok := byName[c.Name]; ok {
-			subjects = append(subjects, s)
+		if i, ok := m.byName[c.Name]; ok {
+			idxs = append(idxs, i)
 		}
 	}
-	vb := features.NewVocabBuilder(m.opts.Final)
-	docs := make([]*features.Doc, len(subjects))
-	for i, s := range subjects {
-		docs[i] = features.Extract(s.Text, m.opts.Final)
-		vb.Add(docs[i])
+	docs := make([]*features.SortedDoc, len(idxs))
+	for j, i := range idxs {
+		docs[j] = m.finalDocs.Get(i)
 	}
-	vocab := vb.Build()
+	// The per-query vocabulary rebuild runs over id-sorted gram lists (the
+	// cache stores candidates pre-flattened); the map-based VocabBuilder
+	// path costs more than everything else in Rescore combined.
+	vocab := features.BuildCandidateVocab(m.opts.Final, docs)
 
 	w := m.opts.weights()
-	ub := buildBlocks(unknown, vocab, m.opts.Final)
-	out := make([]Scored, 0, len(subjects))
-	for i, s := range subjects {
-		cb := buildBlocksFromDoc(docs[i], s, vocab)
+	if udoc == nil {
+		udoc = features.Extract(unknown.Text, m.opts.Final)
+	}
+	ub := buildBlocksFromSorted(udoc.Sorted(), unknown, vocab)
+	out := make([]Scored, 0, len(idxs))
+	for j, i := range idxs {
+		s := &m.known[i]
+		cb := buildBlocksFromSorted(docs[j], s, vocab)
 		out = append(out, Scored{Name: s.Name, Score: similarity(&ub, &cb, w)})
 	}
 	sort.Slice(out, func(a, b int) bool {
@@ -337,13 +393,25 @@ func (m *Matcher) Rescore(unknown *Subject, candidates []Scored) []Scored {
 
 // Match runs the full §IV-I algorithm for one unknown.
 func (m *Matcher) Match(unknown *Subject) MatchResult {
+	return m.match(unknown, nil)
+}
+
+// match is Match with optional per-worker scratch. The unknown's document
+// is extracted once; when the two stages share an extraction config (the
+// paper's setup) the same document also feeds Rescore.
+func (m *Matcher) match(unknown *Subject, buf *matchBuffers) MatchResult {
 	res := MatchResult{Unknown: unknown.Name}
-	res.Candidates = m.Rank(unknown, m.opts.K)
+	udoc := features.Extract(unknown.Text, m.opts.Reduction)
+	res.Candidates = m.rankDoc(udoc, unknown, m.opts.K, m.opts.weights(), buf)
 	if len(res.Candidates) == 0 {
 		return res
 	}
 	if m.opts.TwoStage {
-		res.Rescored = m.Rescore(unknown, res.Candidates)
+		rdoc := udoc
+		if !m.sameExtract {
+			rdoc = nil
+		}
+		res.Rescored = m.rescoreDoc(rdoc, unknown, res.Candidates)
 	} else {
 		res.Rescored = res.Candidates
 	}
@@ -370,8 +438,12 @@ func (m *Matcher) MatchAll(ctx context.Context, unknowns []Subject) ([]MatchResu
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns one scratch buffer for the whole run:
+			// score accumulators and the top-k heap are sized once and
+			// reused across every query the worker picks up.
+			var buf matchBuffers
 			for i := range jobs {
-				results[i] = m.Match(&unknowns[i])
+				results[i] = m.match(&unknowns[i], &buf)
 			}
 		}()
 	}

@@ -123,34 +123,60 @@ func buildBlocks(s *Subject, vocab *features.Vocabulary, cfg features.Config) bl
 }
 
 func buildBlocksFromDoc(doc *features.Doc, s *Subject, vocab *features.Vocabulary) blocks {
-	var b blocks
-	b.grams = vocab.VectorizeGrams(doc).Normalize()
+	return blocks{
+		grams: vocab.VectorizeGrams(doc).Normalize(),
+		freq:  normalizedFreq(doc.Freq),
+		act:   normalizedActivity(s),
+	}
+}
+
+// buildBlocksFromSorted is buildBlocksFromDoc over the flattened document
+// form and a candidate vocabulary — the stage-2 hot path.
+func buildBlocksFromSorted(d *features.SortedDoc, s *Subject, cv *features.CandidateVocab) blocks {
+	return blocks{
+		grams: cv.VectorizeGrams(d).Normalize(),
+		freq:  normalizedFreq(d.Freq),
+		act:   normalizedActivity(s),
+	}
+}
+
+// normalizedFreq returns the unit-norm frequency block, nil when all-zero.
+func normalizedFreq(freq [features.NumFreqFeatures]float64) []float64 {
 	var fnorm float64
-	for _, x := range doc.Freq {
+	for _, x := range freq {
 		fnorm += x * x
 	}
-	if fnorm > 0 {
-		inv := 1 / math.Sqrt(fnorm)
-		b.freq = make([]float64, len(doc.Freq))
-		for i, x := range doc.Freq {
-			b.freq[i] = x * inv
-		}
+	if fnorm == 0 {
+		return nil
 	}
-	if s.Activity != nil {
-		bins := s.Activity.Bins
-		var anorm float64
-		for _, x := range bins {
-			anorm += x * x
-		}
-		if anorm > 0 {
-			inv := 1 / math.Sqrt(anorm)
-			b.act = make([]float64, len(bins))
-			for i, x := range bins {
-				b.act[i] = x * inv
-			}
-		}
+	inv := 1 / math.Sqrt(fnorm)
+	out := make([]float64, len(freq))
+	for i, x := range freq {
+		out[i] = x * inv
 	}
-	return b
+	return out
+}
+
+// normalizedActivity returns the unit-norm activity block, nil when the
+// subject has no (or an empty) profile.
+func normalizedActivity(s *Subject) []float64 {
+	if s.Activity == nil {
+		return nil
+	}
+	bins := s.Activity.Bins
+	var anorm float64
+	for _, x := range bins {
+		anorm += x * x
+	}
+	if anorm == 0 {
+		return nil
+	}
+	inv := 1 / math.Sqrt(anorm)
+	out := make([]float64, len(bins))
+	for i, x := range bins {
+		out[i] = x * inv
+	}
+	return out
 }
 
 // norm returns the concatenated-vector norm of b under w.

@@ -1,0 +1,101 @@
+package attribution
+
+// Bounded top-k selection for stage 1. Ranking an unknown scores every
+// known subject but keeps only k = 10 of them, so sorting a full index
+// permutation (O(n log n) plus an n-int allocation per query) wastes almost
+// all of its work at production known-set sizes. A k-bounded min-heap does
+// the same selection in O(n log k) with a k-entry scratch buffer that
+// MatchAll workers reuse across queries.
+//
+// The ordering is exactly topKScores' historical sort order — higher score
+// first, ties broken by ascending subject name — and the heap keeps the
+// *worst* retained entry at the root so a streaming pass can evict in O(1)
+// comparisons for the common case (candidate no better than the current
+// worst). topk_test.go pins output equality against a reference full sort.
+
+// heapEntry is one retained candidate: the subject's index and its score.
+// Names are looked up through the known slice only when comparing ties,
+// keeping the entry at 16 bytes.
+type heapEntry struct {
+	score float64
+	index int
+}
+
+// entryWorse reports whether a ranks strictly below b: lower score, or an
+// equal score with a lexicographically greater name. This is the exact
+// inverse of the ranking comparator, so the min-heap root is the entry the
+// full sort would place last among the retained k.
+func entryWorse(known []Subject, a, b heapEntry) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return known[a.index].Name > known[b.index].Name
+}
+
+func siftUp(known []Subject, h []heapEntry, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !entryWorse(known, h[i], h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+// siftDown restores the heap property over h[:n] starting at i.
+func siftDown(known []Subject, h []heapEntry, i, n int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && entryWorse(known, h[l], h[m]) {
+			m = l
+		}
+		if r < n && entryWorse(known, h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// topKScores selects the k best (score, name) pairs, best first; ties break
+// by name for determinism. scratch, when non-nil, supplies the reusable
+// heap buffer of a matchBuffers (its capacity is kept and grown in place).
+func topKScores(known []Subject, scores []float64, k int, scratch *[]heapEntry) []Scored {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	if k < 0 {
+		k = 0
+	}
+	var h []heapEntry
+	if scratch != nil {
+		h = (*scratch)[:0]
+	}
+	for i := range scores {
+		e := heapEntry{score: scores[i], index: i}
+		if len(h) < k {
+			h = append(h, e)
+			siftUp(known, h, len(h)-1)
+		} else if k > 0 && entryWorse(known, h[0], e) {
+			h[0] = e
+			siftDown(known, h, 0, len(h))
+		}
+	}
+	if scratch != nil {
+		*scratch = h // keep the (possibly grown) capacity for the next query
+	}
+	// Pop worst-first and fill the output back to front.
+	out := make([]Scored, len(h))
+	for n := len(h); n > 0; n-- {
+		e := h[0]
+		h[0] = h[n-1]
+		siftDown(known, h, 0, n-1)
+		out[n-1] = Scored{Name: known[e.index].Name, Score: e.score}
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package attribution
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"darklight/internal/features"
+)
+
+// referenceTopK is the historical sort-based selection (full index
+// permutation, O(n log n)) that topKScores replaced. It is kept here as the
+// executable specification: the heap must reproduce it bit for bit,
+// including the name tiebreak.
+func referenceTopK(known []Subject, scores []float64, k int) []Scored {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	if k < 0 {
+		k = 0
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return known[idx[a]].Name < known[idx[b]].Name
+	})
+	out := make([]Scored, 0, k)
+	for _, i := range idx[:k] {
+		out = append(out, Scored{Name: known[i].Name, Score: scores[i]})
+	}
+	return out
+}
+
+// TestTopKMatchesReferenceSort drives the heap selection against the sort
+// reference on randomized score vectors. Scores are drawn from a tiny
+// discrete set so ties — where only the name tiebreak separates candidates
+// — occur constantly, and k sweeps the degenerate cases (0, 1, n, > n).
+func TestTopKMatchesReferenceSort(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := r.Intn(60)
+		known := make([]Subject, n)
+		scores := make([]float64, n)
+		for i := range known {
+			// Duplicate names across some entries to exercise equal
+			// (score, name) pairs too.
+			known[i] = Subject{Name: fmt.Sprintf("s%02d", r.Intn(n+1))}
+			scores[i] = float64(r.Intn(5)) / 4
+			if r.Intn(4) == 0 {
+				scores[i] = 0 // heavy mass on the zero-score tie
+			}
+		}
+		for _, k := range []int{0, 1, 2, 10, n - 1, n, n + 7} {
+			got := topKScores(known, scores, k, nil)
+			want := referenceTopK(known, scores, k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d k=%d: len %d, want %d", trial, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d k=%d pos %d: got %+v, want %+v\nfull got  %v\nfull want %v",
+						trial, k, i, got[i], want[i], got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTopKScratchReuse runs many selections through one shared scratch
+// buffer (the MatchAll worker pattern) and checks results stay identical to
+// fresh-buffer selections — a dirty heap must never leak across queries.
+func TestTopKScratchReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var scratch []heapEntry
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(40)
+		known := make([]Subject, n)
+		scores := make([]float64, n)
+		for i := range known {
+			known[i] = Subject{Name: fmt.Sprintf("name%03d", r.Intn(50))}
+			scores[i] = r.Float64()
+		}
+		k := 1 + r.Intn(n+3)
+		got := topKScores(known, scores, k, &scratch)
+		want := topKScores(known, scores, k, nil)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: scratch-reuse selection diverged:\ngot  %v\nwant %v", trial, got, want)
+		}
+	}
+}
+
+// referenceRescore is the pre-hoist Rescore: byName rebuilt per call,
+// candidate documents re-extracted per call. The production path must
+// return identical output from its matcher-lifetime caches.
+func referenceRescore(m *Matcher, unknown *Subject, candidates []Scored) []Scored {
+	byName := make(map[string]*Subject, len(m.known))
+	for i := range m.known {
+		byName[m.known[i].Name] = &m.known[i]
+	}
+	subjects := make([]*Subject, 0, len(candidates))
+	for _, c := range candidates {
+		if s, ok := byName[c.Name]; ok {
+			subjects = append(subjects, s)
+		}
+	}
+	vb := features.NewVocabBuilder(m.opts.Final)
+	docs := make([]*features.Doc, len(subjects))
+	for i, s := range subjects {
+		docs[i] = features.Extract(s.Text, m.opts.Final)
+		vb.Add(docs[i])
+	}
+	vocab := vb.Build()
+
+	w := m.opts.weights()
+	ub := buildBlocks(unknown, vocab, m.opts.Final)
+	out := make([]Scored, 0, len(subjects))
+	for i, s := range subjects {
+		cb := buildBlocksFromDoc(docs[i], s, vocab)
+		out = append(out, Scored{Name: s.Name, Score: similarity(&ub, &cb, w)})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Name < out[b].Name
+	})
+	return out
+}
+
+// TestRescoreUnchangedByHoistedIndex pins the byName/doc-cache hoist:
+// Rescore must produce exactly the scores the per-call implementation did,
+// on first call (cold cache) and on repeat calls (warm cache), including
+// candidates that are not in the known set at all.
+func TestRescoreUnchangedByHoistedIndex(t *testing.T) {
+	authors := makeAuthors(t, 12, 300)
+	known, probes := split(authors)
+	m, err := NewMatcher(known, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		for p := range probes[:4] {
+			cands := m.Rank(&probes[p], 6)
+			// Inject an unknown name: both paths must skip it.
+			cands = append(cands, Scored{Name: "no-such-alias", Score: 0.9})
+			got := m.Rescore(&probes[p], cands)
+			want := referenceRescore(m, &probes[p], cands)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d probe %d: Rescore diverged from reference:\ngot  %v\nwant %v",
+					round, p, got, want)
+			}
+		}
+	}
+}
+
+// TestMatchSharedExtractionEquivalence checks the Match fast path (one
+// extraction shared by both stages) against the public two-call
+// composition, which extracts separately per stage.
+func TestMatchSharedExtractionEquivalence(t *testing.T) {
+	authors := makeAuthors(t, 10, 300)
+	known, probes := split(authors)
+	m, err := NewMatcher(known, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.sameExtract {
+		t.Fatal("paper configs must share extraction (budgets differ, nothing else)")
+	}
+	for p := range probes {
+		got := m.Match(&probes[p])
+		wantCands := m.Rank(&probes[p], m.opts.K)
+		wantRescored := m.Rescore(&probes[p], wantCands)
+		if !reflect.DeepEqual(got.Candidates, wantCands) {
+			t.Fatalf("probe %d: Match candidates diverge from Rank", p)
+		}
+		if !reflect.DeepEqual(got.Rescored, wantRescored) {
+			t.Fatalf("probe %d: Match rescoring diverges from Rescore", p)
+		}
+	}
+
+	// And when the configs do NOT share extraction, Match must fall back to
+	// a per-stage extraction and still agree with the composition.
+	opts := testOptions()
+	opts.Final.Lemmatize = false
+	m2, err := NewMatcher(known, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.sameExtract {
+		t.Fatal("lemmatisation toggle must break extraction sharing")
+	}
+	got := m2.Match(&probes[0])
+	want := m2.Rescore(&probes[0], m2.Rank(&probes[0], m2.opts.K))
+	if !reflect.DeepEqual(got.Rescored, want) {
+		t.Fatal("non-shared-extraction Match diverges from Rank+Rescore composition")
+	}
+}
+
+// TestMatchAllWorkerCountInvariant runs the same workload with Workers=1
+// and Workers=8 and requires byte-identical result slices — scoring must
+// not depend on scheduling, buffer reuse, or cache warm-up order.
+func TestMatchAllWorkerCountInvariant(t *testing.T) {
+	authors := makeAuthors(t, 14, 300)
+	known, probes := split(authors)
+
+	run := func(workers int) []MatchResult {
+		opts := DefaultOptions()
+		opts.Workers = workers
+		m, err := NewMatcher(known, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.MatchAll(context.Background(), probes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("MatchAll results depend on worker count:\nworkers=1 %+v\nworkers=8 %+v", serial, parallel)
+	}
+	// The textual form must match too ("byte-identical"): DeepEqual and
+	// formatting agree unless a NaN sneaks in, which this also rejects.
+	if fmt.Sprintf("%+v", serial) != fmt.Sprintf("%+v", parallel) {
+		t.Fatal("MatchAll textual output differs between worker counts")
+	}
+}

@@ -1,0 +1,299 @@
+package features
+
+import (
+	"slices"
+	"sync"
+
+	"darklight/internal/sparse"
+)
+
+// CandidateVocab is the candidate-set fast path of VocabBuilder +
+// Vocabulary: the same top-N-by-corpus-frequency gram selection and
+// smoothed IDF, built from id-sorted gram lists with linear merges instead
+// of hash maps. Stage 2 rebuilds the vocabulary for every query over only
+// ~k documents, and at that scale the map folding, map-backed index, and
+// per-gram lookups of the general path dominate the whole rescore; merging
+// pre-sorted lists removes all of it.
+//
+// The produced vectors are bit-identical to what Vocabulary.VectorizeGrams
+// yields for the equivalent Docs: selection and index assignment follow
+// topN's exact (frequency desc, gram id asc) order, so even the
+// summation order of downstream dot products is unchanged.
+type CandidateVocab struct {
+	numWords int
+	numChars int
+	// wordByID / charByID hold the selected grams sorted by gram id, each
+	// carrying its assigned feature index and IDF weight, so vectorization
+	// is a two-pointer merge against a doc's sorted gram list.
+	wordByID []cvEntry
+	charByID []cvEntry
+}
+
+type cvEntry struct {
+	id    GramID
+	index uint32
+	idf   float64
+}
+
+// aggEntry is one merged gram: total corpus frequency and document
+// frequency across the candidate docs. Aggregate lists are id-sorted.
+// int32 keeps the entry at 16 bytes — the merge is memory-bound.
+type aggEntry struct {
+	id   GramID
+	freq int32
+	df   int32
+}
+
+// aggBuffers is the ping-pong scratch of one vocabulary build, pooled so
+// per-query builds stop allocating one slice per merge level.
+type aggBuffers struct {
+	a, b []aggEntry
+}
+
+var aggPool = sync.Pool{New: func() any { return new(aggBuffers) }}
+
+func resizeAgg(s []aggEntry, n int) []aggEntry {
+	if cap(s) < n {
+		return make([]aggEntry, 0, n)
+	}
+	return s[:0]
+}
+
+// BuildCandidateVocab selects the vocabulary over the given documents
+// under cfg's gram budgets. Equivalent to folding the same documents
+// through a VocabBuilder and freezing it.
+func BuildCandidateVocab(cfg Config, docs []*SortedDoc) *CandidateVocab {
+	wordLists := make([][]GramEntry, len(docs))
+	charLists := make([][]GramEntry, len(docs))
+	for i, d := range docs {
+		wordLists[i] = d.WordGrams
+		charLists[i] = d.CharGrams
+	}
+	bufs := aggPool.Get().(*aggBuffers)
+	words := selectGrams(mergeGramLists(wordLists, bufs), cfg.MaxWordGrams)
+	chars := selectGrams(mergeGramLists(charLists, bufs), cfg.MaxCharGrams)
+	aggPool.Put(bufs)
+
+	v := &CandidateVocab{
+		numWords: len(words),
+		numChars: len(chars),
+		wordByID: make([]cvEntry, len(words)),
+		charByID: make([]cvEntry, len(chars)),
+	}
+	n := float64(len(docs))
+	for i, e := range words {
+		v.wordByID[i] = cvEntry{id: e.id, index: uint32(i), idf: idf(n, float64(e.df))}
+	}
+	base := uint32(len(words))
+	for i, e := range chars {
+		v.charByID[i] = cvEntry{id: e.id, index: base + uint32(i), idf: idf(n, float64(e.df))}
+	}
+	sortCvByID(v.wordByID)
+	sortCvByID(v.charByID)
+	return v
+}
+
+// NumWordGrams returns the size of the word-gram section.
+func (v *CandidateVocab) NumWordGrams() int { return v.numWords }
+
+// NumCharGrams returns the size of the char-gram section.
+func (v *CandidateVocab) NumCharGrams() int { return v.numChars }
+
+// VectorizeGrams mirrors Vocabulary.VectorizeGrams over a SortedDoc:
+// two-pointer merges replace the per-gram map lookups.
+func (v *CandidateVocab) VectorizeGrams(d *SortedDoc) sparse.Vector {
+	est := len(d.WordGrams) + len(d.CharGrams)
+	vec := sparse.Vector{
+		Idx: make([]uint32, 0, est),
+		Val: make([]float64, 0, est),
+	}
+	mergeVectorize(&vec, d.WordGrams, v.wordByID, float64(max(d.WordTotal, 1)))
+	mergeVectorize(&vec, d.CharGrams, v.charByID, float64(max(d.CharTotal, 1)))
+	vec.Sort()
+	return vec
+}
+
+func mergeVectorize(vec *sparse.Vector, doc []GramEntry, vocab []cvEntry, den float64) {
+	i, j := 0, 0
+	for i < len(doc) && j < len(vocab) {
+		switch {
+		case doc[i].ID < vocab[j].id:
+			i++
+		case doc[i].ID > vocab[j].id:
+			j++
+		default:
+			vec.Idx = append(vec.Idx, vocab[j].index)
+			vec.Val = append(vec.Val, float64(doc[i].Count)/den*vocab[j].idf)
+			i++
+			j++
+		}
+	}
+}
+
+// mergeGramLists folds the per-doc id-sorted gram lists into one id-sorted
+// aggregate by pairwise tournament merging: O(total · log k) comparisons,
+// no hashing. Levels ping-pong between the two scratch buffers; the
+// returned slice aliases one of them and is only valid until the buffers
+// are reused.
+func mergeGramLists(lists [][]GramEntry, bufs *aggBuffers) []aggEntry {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if total == 0 {
+		return nil
+	}
+	src := resizeAgg(bufs.a, total)
+	dst := resizeAgg(bufs.b, total)
+	// runs holds the boundaries of the per-doc (later per-merge) sorted
+	// runs laid out contiguously in src.
+	runs := make([]int, 0, len(lists)+1)
+	runs = append(runs, 0)
+	for _, l := range lists {
+		for _, e := range l {
+			src = append(src, aggEntry{id: e.ID, freq: e.Count, df: 1})
+		}
+		if len(src) > runs[len(runs)-1] {
+			runs = append(runs, len(src))
+		}
+	}
+	next := make([]int, 0, len(runs)/2+2)
+	for len(runs) > 2 {
+		dst = dst[:0]
+		next = next[:0]
+		next = append(next, 0)
+		i := 0
+		for ; i+2 < len(runs); i += 2 {
+			dst = mergeAggInto(dst, src[runs[i]:runs[i+1]], src[runs[i+1]:runs[i+2]])
+			next = append(next, len(dst))
+		}
+		if i+1 < len(runs) {
+			dst = append(dst, src[runs[i]:runs[i+1]]...)
+			next = append(next, len(dst))
+		}
+		src, dst = dst, src
+		runs, next = next, runs
+	}
+	bufs.a, bufs.b = src[:cap(src)][:0], dst[:cap(dst)][:0]
+	return src[runs[0]:runs[1]]
+}
+
+func mergeAggInto(out, a, b []aggEntry) []aggEntry {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].id < b[j].id:
+			out = append(out, a[i])
+			i++
+		case a[i].id > b[j].id:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, aggEntry{id: a[i].id, freq: a[i].freq + b[j].freq, df: a[i].df + b[j].df})
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// selectGrams returns the top-n entries in topN's exact order — descending
+// frequency, ties by ascending gram id — so index assignment matches the
+// map-based path. Negative n keeps everything, like topN.
+func selectGrams(agg []aggEntry, n int) []aggEntry {
+	if n < 0 || len(agg) <= n {
+		out := slices.Clone(agg)
+		sortAggByRank(out)
+		return out
+	}
+	if n == 0 {
+		return nil
+	}
+	// Bounded heap selection with the worst kept entry at the root, then a
+	// final sort of the n survivors: O(len · log n) instead of a full sort.
+	h := make([]aggEntry, 0, n)
+	for _, e := range agg {
+		if len(h) < n {
+			h = append(h, e)
+			siftUpAgg(h, len(h)-1)
+		} else if aggRankLess(e, h[0]) {
+			h[0] = e
+			siftDownAgg(h, 0)
+		}
+	}
+	sortAggByRank(h)
+	return h
+}
+
+// aggRankLess orders by descending frequency, ties by ascending gram id —
+// a strict total order because merged gram ids are unique.
+func aggRankLess(a, b aggEntry) bool {
+	if a.freq != b.freq {
+		return a.freq > b.freq
+	}
+	return a.id < b.id
+}
+
+func sortAggByRank(agg []aggEntry) {
+	slices.SortFunc(agg, func(a, b aggEntry) int {
+		switch {
+		case a.id == b.id:
+			return 0
+		case aggRankLess(a, b):
+			return -1
+		default:
+			return 1
+		}
+	})
+}
+
+func sortCvByID(es []cvEntry) {
+	slices.SortFunc(es, func(a, b cvEntry) int {
+		switch {
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// siftUpAgg / siftDownAgg maintain a min-heap whose root is the WORST kept
+// entry under aggRankLess (so the next eviction is O(log n)).
+func aggWorse(h []aggEntry, i, j int) bool {
+	return aggRankLess(h[j], h[i])
+}
+
+func siftUpAgg(h []aggEntry, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !aggWorse(h, i, p) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func siftDownAgg(h []aggEntry, i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		w := l
+		if r := l + 1; r < n && aggWorse(h, r, l) {
+			w = r
+		}
+		if !aggWorse(h, w, i) {
+			return
+		}
+		h[i], h[w] = h[w], h[i]
+		i = w
+	}
+}

@@ -67,6 +67,19 @@ func FinalConfig() Config {
 	return cfg
 }
 
+// SameExtraction reports whether c and o produce identical Extract output
+// for every text. The vocabulary budgets (MaxWordGrams, MaxCharGrams) are
+// selection-time parameters consumed by VocabBuilder.Build — Extract never
+// reads them — while every other field changes the raw counts. The
+// attribution layer uses this to extract an unknown's document once and
+// share it between the two stages: the paper's reduction and final configs
+// differ only in their budgets.
+func (c Config) SameExtraction(o Config) bool {
+	c.MaxWordGrams, c.MaxCharGrams = 0, 0
+	o.MaxWordGrams, o.MaxCharGrams = 0, 0
+	return c == o
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	switch {

@@ -1,0 +1,56 @@
+package normalize
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"darklight/internal/forum"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestPolishPipelineGolden runs the full 12-step pipeline over a small
+// committed fixture that exercises every step at least once, and compares
+// the exact per-step Report counts (plus the surviving dataset shape)
+// against a golden file. Any change to step order, step behaviour, or the
+// filters' view of mutated text shows up as a diff here.
+//
+// Regenerate with: go test ./internal/normalize/ -run Golden -update
+func TestPolishPipelineGolden(t *testing.T) {
+	f, err := os.Open("testdata/polish_fixture.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := forum.ReadJSONL(f, "fixture", forum.PlatformSynthetic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewPipeline().Run(d)
+
+	var b strings.Builder
+	b.WriteString(rep.String())
+	b.WriteString("---\nsurviving aliases:\n")
+	for i := range d.Aliases {
+		a := &d.Aliases[i]
+		fmt.Fprintf(&b, "%s: %d messages\n", a.Name, len(a.Messages))
+	}
+	got := b.String()
+
+	const golden = "testdata/polish_report.golden"
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("polish report diverged from golden file (run with -update after verifying the change is intended):\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

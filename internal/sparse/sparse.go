@@ -64,12 +64,19 @@ func (v Vector) IsSorted() bool {
 	return true
 }
 
-// Sort orders entries by index, summing values of duplicate indices.
-// Use after constructing a vector by appending. Entries are packed into
-// uint64s (index in the high half, original position in the low half) so
-// the hot path is a primitive-slice sort rather than an interface one.
+// Sort orders entries by index, summing values of duplicate indices (in
+// their original order, so the float result is deterministic). Use after
+// constructing a vector by appending. Large vectors take a stable LSD
+// radix sort over the index bytes — vectorization finishes every vector
+// with a Sort, and a comparison sort of the (index, position) pairs is the
+// single most expensive step of the scoring hot path; small vectors keep
+// the packed comparison sort, where the radix passes don't pay off.
 func (v *Vector) Sort() {
 	if v.IsSorted() {
+		return
+	}
+	if len(v.Idx) >= 128 {
+		v.radixSort()
 		return
 	}
 	packed := make([]uint64, len(v.Idx))
@@ -84,13 +91,64 @@ func (v *Vector) Sort() {
 	for _, p := range packed {
 		i := uint32(p >> 32)
 		x := vals[uint32(p)]
-		n := len(v.Idx)
-		if n > 0 && v.Idx[n-1] == i {
-			v.Val[n-1] += x
-			continue
+		v.appendSummed(i, x)
+	}
+}
+
+// appendSummed appends (i, x), folding x into the last value when the
+// index repeats — the shared compaction step of both sort paths.
+func (v *Vector) appendSummed(i uint32, x float64) {
+	if n := len(v.Idx); n > 0 && v.Idx[n-1] == i {
+		v.Val[n-1] += x
+		return
+	}
+	v.Idx = append(v.Idx, i)
+	v.Val = append(v.Val, x)
+}
+
+// radixSort is the large-vector path of Sort: stable byte-wise LSD radix
+// on the indices, carrying values alongside. Stability makes duplicate
+// indices end up in original order, so the duplicate-summing compaction
+// adds values in exactly the order the packed comparison sort would.
+func (v *Vector) radixSort() {
+	n := len(v.Idx)
+	maxIdx := uint32(0)
+	for _, i := range v.Idx {
+		if i > maxIdx {
+			maxIdx = i
 		}
-		v.Idx = append(v.Idx, i)
-		v.Val = append(v.Val, x)
+	}
+	srcI, srcV := v.Idx, v.Val
+	dstI := make([]uint32, n)
+	dstV := make([]float64, n)
+	var counts [256]int
+	for shift := uint(0); shift == 0 || maxIdx>>shift > 0; shift += 8 {
+		clear(counts[:])
+		for _, x := range srcI {
+			counts[(x>>shift)&0xff]++
+		}
+		if counts[(srcI[0]>>shift)&0xff] == n {
+			continue // all keys share this byte: pass is a no-op
+		}
+		sum := 0
+		for d := range counts {
+			counts[d], sum = sum, sum+counts[d]
+		}
+		for k, x := range srcI {
+			p := counts[(x>>shift)&0xff]
+			counts[(x>>shift)&0xff]++
+			dstI[p], dstV[p] = x, srcV[k]
+		}
+		srcI, srcV, dstI, dstV = dstI, dstV, srcI, srcV
+	}
+	// Compact duplicates into the vector's own storage. srcI/srcV hold the
+	// sorted entries; they may alias v's slices, but compaction only writes
+	// at or behind the read cursor, so in-place is safe.
+	sortedI, sortedV := srcI, srcV
+	v.Idx = v.Idx[:0]
+	v.Val = v.Val[:0]
+	for k, i := range sortedI {
+		v.appendSummed(i, sortedV[k])
 	}
 }
 

@@ -2,6 +2,8 @@ package sparse
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -245,5 +247,73 @@ func TestAddCommutative(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// referenceSort is the packed comparison sort Sort used before the radix
+// path existed, kept as the executable spec: sort (index, position) pairs,
+// then sum duplicate indices in position order.
+func referenceSort(v *Vector) {
+	packed := make([]uint64, len(v.Idx))
+	for k, i := range v.Idx {
+		packed[k] = uint64(i)<<32 | uint64(uint32(k))
+	}
+	sort.Slice(packed, func(a, b int) bool { return packed[a] < packed[b] })
+	vals := make([]float64, len(v.Val))
+	copy(vals, v.Val)
+	v.Idx = v.Idx[:0]
+	v.Val = v.Val[:0]
+	for _, p := range packed {
+		i := uint32(p >> 32)
+		x := vals[uint32(p)]
+		if n := len(v.Idx); n > 0 && v.Idx[n-1] == i {
+			v.Val[n-1] += x
+			continue
+		}
+		v.Idx = append(v.Idx, i)
+		v.Val = append(v.Val, x)
+	}
+}
+
+// TestSortMatchesReference drives both Sort paths (small comparison sort
+// and large radix sort) across random vectors with heavy index collisions
+// and asserts bit-identical output — including the float summation order
+// of duplicate indices.
+func TestSortMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(600) // spans both the <128 and the radix path
+		var got, want Vector
+		maxIdx := uint32(1)
+		switch trial % 3 {
+		case 0:
+			maxIdx = 40 // dense collisions
+		case 1:
+			maxIdx = 1 << 17 // vocabulary-scale indices
+		case 2:
+			maxIdx = math.MaxUint32 // full-width indices: all radix passes
+		}
+		for i := 0; i < n; i++ {
+			idx := uint32(rng.Uint64()) % maxIdx
+			val := rng.NormFloat64()
+			got.Idx = append(got.Idx, idx)
+			got.Val = append(got.Val, val)
+			want.Idx = append(want.Idx, idx)
+			want.Val = append(want.Val, val)
+		}
+		got.Sort()
+		referenceSort(&want)
+		if len(got.Idx) != len(want.Idx) {
+			t.Fatalf("trial %d (n=%d): length %d != %d", trial, n, len(got.Idx), len(want.Idx))
+		}
+		for k := range got.Idx {
+			if got.Idx[k] != want.Idx[k] || got.Val[k] != want.Val[k] {
+				t.Fatalf("trial %d (n=%d) entry %d: got (%d,%v) want (%d,%v)",
+					trial, n, k, got.Idx[k], got.Val[k], want.Idx[k], want.Val[k])
+			}
+		}
+		if !got.IsSorted() {
+			t.Fatalf("trial %d: result not strictly sorted", trial)
+		}
 	}
 }
