@@ -286,8 +286,14 @@ func BenchmarkBatchProcessing(b *testing.B) {
 func benchSubjects(b *testing.B) (known, probes []attribution.Subject) {
 	l := benchLab(b)
 	pipe := NewPipeline()
-	main := pipe.Subjects(l.Reddit)
-	ae := pipe.Subjects(l.AEReddit)
+	main, err := pipe.Subjects(l.Reddit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ae, err := pipe.Subjects(l.AEReddit)
+	if err != nil {
+		b.Fatal(err)
+	}
 	names := map[string]bool{}
 	for _, s := range main {
 		names[s.Name] = true

@@ -1,16 +1,24 @@
-// Command benchdiff runs the matcher hot-path benchmarks (BenchmarkRank,
-// BenchmarkRescore, BenchmarkMatchAll in the repository root) and records
-// their results in BENCH_matcher.json — the repo's perf-regression
-// trajectory. Run it once from the commit you are starting from and once
-// after your change:
+// Command benchdiff runs a perf-regression benchmark suite and records the
+// results in its trajectory file. Two suites exist, each with its own file
+// so neither clobbers the other:
 //
-//	go run ./cmd/benchdiff -phase before
-//	go run ./cmd/benchdiff -phase after
+//   - matcher: the query hot path (BenchmarkRank, BenchmarkRescore,
+//     BenchmarkMatchAll) → BENCH_matcher.json
+//   - ingest: the corpus-onboarding path (BenchmarkPolish,
+//     BenchmarkVocabBuild, BenchmarkIndexBuild, BenchmarkIngestEndToEnd)
+//     → BENCH_ingest.json
+//
+// Run a suite once from the commit you are starting from and once after
+// your change:
+//
+//	go run ./cmd/benchdiff -suite ingest -phase before
+//	go run ./cmd/benchdiff -suite ingest -phase after
 //
 // Phases merge into one file; when both are present a speedup factor
 // (before ns/op divided by after ns/op) is computed per benchmark. Each
 // phase stores the median of -count samples, so a single noisy run does
-// not skew the trajectory.
+// not skew the trajectory. `-bench` and `-out` override the suite's
+// benchmark filter and trajectory file for ad-hoc comparisons.
 package main
 
 import (
@@ -53,17 +61,49 @@ type File struct {
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
+// suite bundles a benchmark filter with the trajectory file it maintains.
+type suite struct {
+	pattern     string
+	out         string
+	description string
+}
+
+var suites = map[string]suite{
+	"matcher": {
+		pattern:     "^(BenchmarkRank|BenchmarkRescore|BenchmarkMatchAll)$",
+		out:         "BENCH_matcher.json",
+		description: "Matcher hot-path benchmark trajectory. Regenerate with `go run ./cmd/benchdiff -suite matcher -phase before|after`; medians of -count runs, ns/op ratios in `speedup`.",
+	},
+	"ingest": {
+		pattern:     "^(BenchmarkPolish|BenchmarkVocabBuild|BenchmarkIndexBuild|BenchmarkIngestEndToEnd)$",
+		out:         "BENCH_ingest.json",
+		description: "Ingest-path benchmark trajectory (polish, vocabulary build, index build, end-to-end onboarding). Regenerate with `go run ./cmd/benchdiff -suite ingest -phase before|after`; medians of -count runs, ns/op ratios in `speedup`.",
+	},
+}
+
 func main() {
 	phase := flag.String("phase", "", "which side of the change this run measures: before | after")
 	count := flag.Int("count", 3, "benchmark sample count (median is recorded)")
-	out := flag.String("out", "BENCH_matcher.json", "trajectory file to create or merge into")
-	pattern := flag.String("bench", "^(BenchmarkRank|BenchmarkRescore|BenchmarkMatchAll)$", "benchmark selection pattern")
+	suiteName := flag.String("suite", "matcher", "benchmark suite: matcher | ingest")
+	out := flag.String("out", "", "trajectory file to create or merge into (default: the suite's file)")
+	pattern := flag.String("bench", "", "benchmark selection pattern (default: the suite's filter)")
 	pkg := flag.String("pkg", ".", "package containing the benchmarks")
 	flag.Parse()
 	if *phase != "before" && *phase != "after" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -phase must be 'before' or 'after'")
 		flag.Usage()
 		os.Exit(2)
+	}
+	s, ok := suites[*suiteName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown suite %q (want matcher or ingest)\n", *suiteName)
+		os.Exit(2)
+	}
+	if *out == "" {
+		*out = s.out
+	}
+	if *pattern == "" {
+		*pattern = s.pattern
 	}
 
 	cmd := exec.Command("go", "test", "-run", "^$",
@@ -82,7 +122,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	f := load(*out)
+	f := load(*out, s.description)
 	f.GoVersion = runtime.Version()
 	if cpu != "" {
 		f.CPU = cpu
@@ -168,9 +208,9 @@ func median(ms []Metrics) Metrics {
 	}
 }
 
-func load(path string) *File {
+func load(path, description string) *File {
 	f := &File{
-		Description: "Matcher hot-path benchmark trajectory. Regenerate with `go run ./cmd/benchdiff -phase before|after`; medians of -count runs, ns/op ratios in `speedup`.",
+		Description: description,
 		Benchmarks:  make(map[string]*Entry),
 	}
 	data, err := os.ReadFile(path)

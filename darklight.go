@@ -167,9 +167,10 @@ func NewPipeline(opts ...Option) *Pipeline {
 }
 
 // Polish runs the 12-step §III-C cleaning pipeline in place and returns
-// the per-step report.
+// the per-step report. The steps fan out over the pipeline's worker count;
+// the result is bit-identical for any setting.
 func (p *Pipeline) Polish(d *Dataset) *PolishReport {
-	return normalize.NewPipeline().Run(d)
+	return normalize.NewPipeline(normalize.WithWorkers(p.opts.Workers)).Run(d)
 }
 
 // Refine drops aliases below the §IV-D thresholds (1,500 words, 30 usable
@@ -187,11 +188,12 @@ func (p *Pipeline) SplitAlterEgos(d *Dataset) (main, ae *Dataset) {
 
 // Subjects prepares a dataset for matching under the pipeline's word
 // budget and activity settings.
-func (p *Pipeline) Subjects(d *Dataset) []Subject {
+func (p *Pipeline) Subjects(d *Dataset) ([]Subject, error) {
 	return attribution.BuildSubjects(d, attribution.SubjectOptions{
 		WordBudget:   p.budget,
 		Activity:     p.actOpts,
 		WithActivity: p.opts.UseActivity,
+		Workers:      p.opts.Workers,
 	})
 }
 
@@ -200,11 +202,19 @@ func (p *Pipeline) Subjects(d *Dataset) []Subject {
 // threshold come back with Accepted set. All pairs (accepted or not) are
 // returned so callers can sweep their own thresholds.
 func (p *Pipeline) Link(ctx context.Context, known, unknown *Dataset) ([]Match, error) {
-	m, err := attribution.NewMatcher(p.Subjects(known), p.opts)
+	knownSubs, err := p.Subjects(known)
+	if err != nil {
+		return nil, fmt.Errorf("darklight: prepare known aliases: %w", err)
+	}
+	m, err := attribution.NewMatcher(knownSubs, p.opts)
 	if err != nil {
 		return nil, fmt.Errorf("darklight: index known aliases: %w", err)
 	}
-	results, err := m.MatchAll(ctx, p.Subjects(unknown))
+	unknownSubs, err := p.Subjects(unknown)
+	if err != nil {
+		return nil, fmt.Errorf("darklight: prepare unknown aliases: %w", err)
+	}
+	results, err := m.MatchAll(ctx, unknownSubs)
 	if err != nil {
 		return nil, err
 	}
@@ -226,11 +236,19 @@ func (p *Pipeline) Link(ctx context.Context, known, unknown *Dataset) ([]Match, 
 // LinkDetailed is Link returning the full per-unknown match results
 // (stage-1 candidates and stage-2 rescoring included).
 func (p *Pipeline) LinkDetailed(ctx context.Context, known, unknown *Dataset) ([]MatchResult, error) {
-	m, err := attribution.NewMatcher(p.Subjects(known), p.opts)
+	knownSubs, err := p.Subjects(known)
+	if err != nil {
+		return nil, fmt.Errorf("darklight: prepare known aliases: %w", err)
+	}
+	m, err := attribution.NewMatcher(knownSubs, p.opts)
 	if err != nil {
 		return nil, fmt.Errorf("darklight: index known aliases: %w", err)
 	}
-	return m.MatchAll(ctx, p.Subjects(unknown))
+	unknownSubs, err := p.Subjects(unknown)
+	if err != nil {
+		return nil, fmt.Errorf("darklight: prepare unknown aliases: %w", err)
+	}
+	return m.MatchAll(ctx, unknownSubs)
 }
 
 // LoadJSONL reads a dataset from a JSON-lines file (one Message object per
@@ -292,13 +310,20 @@ func (p *Pipeline) Verify(background *Dataset, unknown, candidate Alias) (Verifi
 	if _, err := bg.Find(candidate.Name); err != nil {
 		bg.Add(candidate)
 	}
-	m, err := attribution.NewMatcher(p.Subjects(bg), p.opts)
+	bgSubs, err := p.Subjects(bg)
+	if err != nil {
+		return Verification{}, fmt.Errorf("darklight: verify: %w", err)
+	}
+	m, err := attribution.NewMatcher(bgSubs, p.opts)
 	if err != nil {
 		return Verification{}, fmt.Errorf("darklight: verify: %w", err)
 	}
 	uDS := forum.NewDataset("unknown", background.Platform)
 	uDS.Add(unknown)
-	uSubs := p.Subjects(uDS)
+	uSubs, err := p.Subjects(uDS)
+	if err != nil {
+		return Verification{}, fmt.Errorf("darklight: verify: %w", err)
+	}
 	scored := m.Rescore(&uSubs[0], []attribution.Scored{{Name: candidate.Name}})
 	if len(scored) == 0 {
 		return Verification{Threshold: p.opts.Threshold}, nil

@@ -141,12 +141,19 @@ func TestCountermeasureDegradesAttack(t *testing.T) {
 	}
 
 	subjOpts := attribution.SubjectOptions{Activity: actOpts, WithActivity: true}
-	matcher, err := attribution.NewMatcher(attribution.BuildSubjects(main, subjOpts), attribution.DefaultOptions())
+	mainSubs, err := attribution.BuildSubjects(main, subjOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matcher, err := attribution.NewMatcher(mainSubs, attribution.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	accuracy := func(d *forum.Dataset) float64 {
-		probes := attribution.BuildSubjects(d, subjOpts)
+		probes, err := attribution.BuildSubjects(d, subjOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
 		results, err := matcher.MatchAll(context.Background(), probes)
 		if err != nil {
 			t.Fatal(err)

@@ -325,7 +325,10 @@ func TestBuildSubjects(t *testing.T) {
 		day = day.AddDate(0, 0, 1)
 	}
 	d.Add(a)
-	subs := BuildSubjects(d, SubjectOptions{WordBudget: 100, WithActivity: true, Activity: activity.Options{ExcludeWeekends: true}})
+	subs, err := BuildSubjects(d, SubjectOptions{WordBudget: 100, WithActivity: true, Activity: activity.Options{ExcludeWeekends: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(subs) != 1 {
 		t.Fatal("subject missing")
 	}
@@ -342,7 +345,10 @@ func TestBuildSubjects(t *testing.T) {
 	// Insufficient timestamps → nil profile, no error.
 	d2 := forum.NewDataset("T2", forum.PlatformReddit)
 	d2.Add(forum.Alias{Name: "few", Messages: a.Messages[:5]})
-	subs2 := BuildSubjects(d2, SubjectOptions{WithActivity: true})
+	subs2, err := BuildSubjects(d2, SubjectOptions{WithActivity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if subs2[0].Activity != nil {
 		t.Error("five timestamps cannot build a profile")
 	}

@@ -7,7 +7,6 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"darklight/internal/features"
 )
@@ -176,40 +175,55 @@ func NewMatcher(known []Subject, opts Options) (*Matcher, error) {
 	}
 	m := &Matcher{opts: opts, known: known}
 
-	// Pass 1: corpus statistics → vocabulary. Extraction fans out over a
-	// worker pool; a single adder folds docs into the builder (map merges
-	// commute, so completion order is irrelevant). Docs are dropped right
-	// away — keeping every doc alive would cost ~1 MB per subject.
-	vb := features.NewVocabBuilder(opts.Reduction)
-	extracted := make(chan *features.Doc, opts.Workers)
-	go func() {
-		defer close(extracted)
-		parallelIndexed(opts.Workers, len(known), func(i int) {
-			extracted <- features.Extract(known[i].Text, opts.Reduction)
-		})
-	}()
-	for d := range extracted {
-		vb.Add(d)
+	// Pass 1: corpus statistics → vocabulary. Each worker extracts a
+	// contiguous chunk of subjects into a private builder; the builders
+	// merge in shard order. Corpus counters are plain sums and the top-N
+	// cut breaks frequency ties by gram id, so the merged vocabulary is
+	// bit-identical to a sequential build for any worker count. Docs are
+	// dropped as soon as they are folded in — keeping every doc alive
+	// would cost ~1 MB per subject.
+	shards := shardCount(opts.Workers, len(known))
+	builders := make([]*features.VocabBuilder, shards)
+	parallelChunks(shards, len(known), func(s, lo, hi int) {
+		vb := features.NewVocabBuilder(opts.Reduction)
+		for i := lo; i < hi; i++ {
+			vb.Add(features.Extract(known[i].Text, opts.Reduction))
+		}
+		builders[s] = vb
+	})
+	vb := builders[0]
+	for _, o := range builders[1:] {
+		vb.Merge(o)
 	}
 	m.vocab = vb.Build()
 
-	// Pass 2: re-extract and build blocks in parallel; assemble the
-	// inverted index serially.
-	blocksOf := make([]blocks, len(known))
-	parallelIndexed(opts.Workers, len(known), func(i int) {
-		blocksOf[i] = buildBlocks(&known[i], m.vocab, opts.Reduction)
-	})
-	m.postings = make(map[uint32][]posting)
+	// Pass 2: re-extract, build blocks, and assemble per-shard posting
+	// lists in one parallel sweep over the same contiguous chunks. Each
+	// shard's postings are subject-ascending within its range, so
+	// concatenating the shards in order reproduces exactly the
+	// subject-ascending posting lists of a serial build — the order
+	// stage-1 accumulates float32 dot products in.
 	m.hasGrams = make([]bool, len(known))
 	m.freqs = make([][]float64, len(known))
 	m.acts = make([][]float64, len(known))
-	for i := range blocksOf {
-		b := &blocksOf[i]
-		m.hasGrams[i] = b.grams.Len() > 0
-		m.freqs[i] = b.freq
-		m.acts[i] = b.act
-		for k, idx := range b.grams.Idx {
-			m.postings[idx] = append(m.postings[idx], posting{subject: i, value: float32(b.grams.Val[k])})
+	shardPostings := make([]map[uint32][]posting, shards)
+	parallelChunks(shards, len(known), func(s, lo, hi int) {
+		local := make(map[uint32][]posting)
+		for i := lo; i < hi; i++ {
+			b := buildBlocks(&known[i], m.vocab, opts.Reduction)
+			m.hasGrams[i] = b.grams.Len() > 0
+			m.freqs[i] = b.freq
+			m.acts[i] = b.act
+			for k, idx := range b.grams.Idx {
+				local[idx] = append(local[idx], posting{subject: i, value: float32(b.grams.Val[k])})
+			}
+		}
+		shardPostings[s] = local
+	})
+	m.postings = make(map[uint32][]posting)
+	for _, local := range shardPostings {
+		for idx, ps := range local {
+			m.postings[idx] = append(m.postings[idx], ps...)
 		}
 	}
 
@@ -227,32 +241,35 @@ func NewMatcher(known []Subject, opts Options) (*Matcher, error) {
 	return m, nil
 }
 
-// parallelIndexed runs fn(i) for every i in [0, n) over `workers`
-// goroutines and waits for completion.
-func parallelIndexed(workers, n int, fn func(int)) {
+// shardCount bounds a chunked fan-out: at most one shard per item, at
+// least one shard overall.
+func shardCount(workers, n int) int {
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// parallelChunks splits [0, n) into `shards` contiguous ranges and runs
+// fn(shard, lo, hi) for each concurrently. Static chunking (rather than
+// atomic work-stealing) gives every shard a deterministic item range, which
+// the ingest build relies on for order-preserving merges.
+func parallelChunks(shards, n int, fn func(shard, lo, hi int)) {
+	if shards <= 1 {
+		fn(0, 0, n)
 		return
 	}
 	var wg sync.WaitGroup
-	var next int64
-	for w := 0; w < workers; w++ {
+	for s := 0; s < shards; s++ {
+		lo, hi := s*n/shards, (s+1)*n/shards
 		wg.Add(1)
-		go func() {
+		go func(s, lo, hi int) {
 			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
+			fn(s, lo, hi)
+		}(s, lo, hi)
 	}
 	wg.Wait()
 }

@@ -13,7 +13,11 @@
 package attribution
 
 import (
+	"errors"
+	"fmt"
 	"math"
+	"runtime"
+	"sync"
 	"time"
 
 	"darklight/internal/activity"
@@ -60,30 +64,69 @@ type SubjectOptions struct {
 	// timestamps fall below the activity minimum get a nil profile rather
 	// than an error: the matcher simply scores them on text alone.
 	WithActivity bool
+	// Workers bounds the parallelism of subject construction; 0 means
+	// GOMAXPROCS. Subjects are independent of each other, so the output is
+	// identical for any worker count.
+	Workers int
 }
 
-// BuildSubjects converts a dataset into matchable subjects.
-func BuildSubjects(d *forum.Dataset, opts SubjectOptions) []Subject {
+// BuildSubjects converts a dataset into matchable subjects. Document
+// selection and activity-profile construction fan out over the aliases;
+// the returned slice is in dataset order regardless of worker count.
+//
+// An alias with too few usable timestamps for an activity profile gets a
+// nil profile (the matcher scores it on text alone — §IV-D's fallback);
+// any other profile-construction failure aborts the build with the alias
+// named in the error rather than silently degrading that subject.
+func BuildSubjects(d *forum.Dataset, opts SubjectOptions) ([]Subject, error) {
 	budget := opts.WordBudget
 	if budget == 0 {
 		budget = DefaultWordBudget
 	}
-	subjects := make([]Subject, 0, d.Len())
-	for i := range d.Aliases {
-		a := &d.Aliases[i]
-		s := Subject{
-			Name:       a.Name,
-			Text:       corpus.Document(a, budget),
-			Timestamps: a.Timestamps(),
-		}
-		if opts.WithActivity {
-			if p, err := activity.Build(s.Timestamps, opts.Activity); err == nil {
-				s.Activity = p
-			}
-		}
-		subjects = append(subjects, s)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	return subjects
+	workers = shardCount(workers, d.Len())
+	subjects := make([]Subject, d.Len())
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*d.Len()/workers, (w+1)*d.Len()/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				a := &d.Aliases[i]
+				s := Subject{
+					Name:       a.Name,
+					Text:       corpus.Document(a, budget),
+					Timestamps: a.Timestamps(),
+				}
+				if opts.WithActivity {
+					p, err := activity.Build(s.Timestamps, opts.Activity)
+					switch {
+					case err == nil:
+						s.Activity = p
+					case errors.Is(err, activity.ErrInsufficientTimestamps):
+						// Expected: score on text alone.
+					default:
+						if errs[w] == nil {
+							errs[w] = fmt.Errorf("attribution: subject %q: %w", a.Name, err)
+						}
+					}
+				}
+				subjects[i] = s
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return subjects, nil
 }
 
 // Weights control the relative L2 norm of each feature block in the

@@ -259,9 +259,17 @@ func TestSampleKnownUnknownPreservesMates(t *testing.T) {
 }
 
 func attributionSubjects(l *Lab, opts attribution.SubjectOptions) []attribution.Subject {
-	return attribution.BuildSubjects(l.Reddit, opts)
+	subs, err := attribution.BuildSubjects(l.Reddit, opts)
+	if err != nil {
+		panic(err)
+	}
+	return subs
 }
 
 func attributionAESubjects(l *Lab, opts attribution.SubjectOptions) []attribution.Subject {
-	return attribution.BuildSubjects(l.AEReddit, opts)
+	subs, err := attribution.BuildSubjects(l.AEReddit, opts)
+	if err != nil {
+		panic(err)
+	}
+	return subs
 }

@@ -155,9 +155,15 @@ type Figure3Report struct {
 // Figure3 runs all three methods over the same known/unknown sets.
 func (l *Lab) Figure3() (*Figure3Report, error) {
 	opts := l.SubjectOpts()
-	known, unknown := sampleKnownUnknown(
-		attribution.BuildSubjects(l.Reddit, opts),
-		attribution.BuildSubjects(l.AEReddit, opts),
+	knownAll, err := attribution.BuildSubjects(l.Reddit, opts)
+	if err != nil {
+		return nil, err
+	}
+	aeAll, err := attribution.BuildSubjects(l.AEReddit, opts)
+	if err != nil {
+		return nil, err
+	}
+	known, unknown := sampleKnownUnknown(knownAll, aeAll,
 		l.Cfg.BaselineKnown, l.Cfg.BaselineUnknowns, int64(l.Cfg.Seed)+404)
 	rep := &Figure3Report{Known: len(known), Unknowns: len(unknown)}
 	ctx := context.Background()
@@ -247,7 +253,11 @@ func (l *Lab) Figure4() (*Figure4Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	redditAE := sampleSubjects(attribution.BuildSubjects(l.AEReddit, l.SubjectOpts()),
+	redditAEAll, err := attribution.BuildSubjects(l.AEReddit, l.SubjectOpts())
+	if err != nil {
+		return nil, err
+	}
+	redditAE := sampleSubjects(redditAEAll,
 		l.Cfg.Table3Unknowns, int64(l.Cfg.Seed)+606)
 	rText, rAll := rankPair(rm, redditAE, textW, allW)
 	rep.RedditKnown, rep.RedditProbes = rm.NumKnown(), len(redditAE)
@@ -258,7 +268,10 @@ func (l *Lab) Figure4() (*Figure4Report, error) {
 		return nil, err
 	}
 	_, darkAE := l.DarkWeb()
-	darkSubjects := attribution.BuildSubjects(darkAE, l.SubjectOpts())
+	darkSubjects, err := attribution.BuildSubjects(darkAE, l.SubjectOpts())
+	if err != nil {
+		return nil, err
+	}
 	dText, dAll := rankPair(dm, darkSubjects, textW, allW)
 	rep.DarkKnown, rep.DarkProbes = dm.NumKnown(), len(darkSubjects)
 

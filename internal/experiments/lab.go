@@ -186,7 +186,10 @@ func (l *Lab) RedditMatcher() (*attribution.Matcher, error) {
 	if l.redditMatcher != nil {
 		return l.redditMatcher, nil
 	}
-	known := attribution.BuildSubjects(l.Reddit, l.SubjectOpts())
+	known, err := attribution.BuildSubjects(l.Reddit, l.SubjectOpts())
+	if err != nil {
+		return nil, err
+	}
 	m, err := attribution.NewMatcher(known, l.MatcherOpts())
 	if err != nil {
 		return nil, err
@@ -209,7 +212,10 @@ func (l *Lab) DarkMatcher() (*attribution.Matcher, error) {
 		return l.darkMatcher, nil
 	}
 	known, _ := l.DarkWeb()
-	subjects := attribution.BuildSubjects(known, l.SubjectOpts())
+	subjects, err := attribution.BuildSubjects(known, l.SubjectOpts())
+	if err != nil {
+		return nil, err
+	}
 	m, err := attribution.NewMatcher(subjects, l.MatcherOpts())
 	if err != nil {
 		return nil, err

@@ -49,8 +49,14 @@ func (l *Lab) TMGvsDM() (*CrossForumReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	known := attribution.BuildSubjects(l.TMG, l.SubjectOpts())
-	unknown := attribution.BuildSubjects(l.DM, l.SubjectOpts())
+	known, err := attribution.BuildSubjects(l.TMG, l.SubjectOpts())
+	if err != nil {
+		return nil, err
+	}
+	unknown, err := attribution.BuildSubjects(l.DM, l.SubjectOpts())
+	if err != nil {
+		return nil, err
+	}
 	opts := l.MatcherOpts()
 	opts.Threshold = threshold
 	m, err := attribution.NewMatcher(known, opts)
@@ -79,8 +85,14 @@ func (l *Lab) RedditVsDarkWeb() (*CrossForumReport, error) {
 	}
 	ctx := context.Background()
 
-	tmgUnknowns := attribution.BuildSubjects(l.TMG, l.SubjectOpts())
-	dmUnknowns := attribution.BuildSubjects(l.DM, l.SubjectOpts())
+	tmgUnknowns, err := attribution.BuildSubjects(l.TMG, l.SubjectOpts())
+	if err != nil {
+		return nil, err
+	}
+	dmUnknowns, err := attribution.BuildSubjects(l.DM, l.SubjectOpts())
+	if err != nil {
+		return nil, err
+	}
 	resT, err := m.MatchAll(ctx, tmgUnknowns)
 	if err != nil {
 		return nil, err
@@ -295,9 +307,15 @@ func (l *Lab) BatchProcedure() (*BatchReport, error) {
 		return nil, err
 	}
 	opts := l.SubjectOpts()
-	known, unknown := sampleKnownUnknown(
-		attribution.BuildSubjects(l.Reddit, opts),
-		attribution.BuildSubjects(l.AEReddit, opts),
+	knownAll, err := attribution.BuildSubjects(l.Reddit, opts)
+	if err != nil {
+		return nil, err
+	}
+	aeAll, err := attribution.BuildSubjects(l.AEReddit, opts)
+	if err != nil {
+		return nil, err
+	}
+	known, unknown := sampleKnownUnknown(knownAll, aeAll,
 		l.Cfg.BaselineKnown, l.Cfg.BatchUnknowns, int64(l.Cfg.Seed)+707)
 
 	mopts := l.MatcherOpts()

@@ -190,9 +190,15 @@ func (l *Lab) Table3() (*Table3Report, error) {
 func (l *Lab) table3Row(words int) (*Table3Row, error) {
 	opts := l.SubjectOpts()
 	opts.WordBudget = words
-	known, unknown := sampleKnownUnknown(
-		attribution.BuildSubjects(l.Reddit, opts),
-		attribution.BuildSubjects(l.AEReddit, opts),
+	knownAll, err := attribution.BuildSubjects(l.Reddit, opts)
+	if err != nil {
+		return nil, err
+	}
+	aeAll, err := attribution.BuildSubjects(l.AEReddit, opts)
+	if err != nil {
+		return nil, err
+	}
+	known, unknown := sampleKnownUnknown(knownAll, aeAll,
 		l.Cfg.Table3Known, l.Cfg.Table3Unknowns, int64(l.Cfg.Seed)+101)
 
 	mopts := l.MatcherOpts()
@@ -361,7 +367,10 @@ func (l *Lab) darkTenAttribution() (float64, error) {
 		return 0, err
 	}
 	_, ae := l.DarkWeb()
-	unknowns := attribution.BuildSubjects(ae, l.SubjectOpts())
+	unknowns, err := attribution.BuildSubjects(ae, l.SubjectOpts())
+	if err != nil {
+		return 0, err
+	}
 	var ranks []eval.Ranking
 	for i := range unknowns {
 		ranks = append(ranks, rankingOf(unknowns[i].Name, m.Rank(&unknowns[i], 10)))
@@ -456,12 +465,19 @@ func (l *Lab) Table6() (*Table6Report, error) {
 // forumMatcherAndAE builds a matcher over a forum's refined dataset and the
 // subjects of its alter-ego set.
 func (l *Lab) forumMatcherAndAE(known, ae *forum.Dataset) (*attribution.Matcher, []attribution.Subject, error) {
-	ks := attribution.BuildSubjects(known, l.SubjectOpts())
+	ks, err := attribution.BuildSubjects(known, l.SubjectOpts())
+	if err != nil {
+		return nil, nil, err
+	}
 	m, err := attribution.NewMatcher(ks, l.MatcherOpts())
 	if err != nil {
 		return nil, nil, err
 	}
-	return m, attribution.BuildSubjects(ae, l.SubjectOpts()), nil
+	aes, err := attribution.BuildSubjects(ae, l.SubjectOpts())
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, aes, nil
 }
 
 // String renders the table.
@@ -498,7 +514,10 @@ func (l *Lab) aeCurves() (*aeCurveSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	all := attribution.BuildSubjects(l.AEReddit, l.SubjectOpts())
+	all, err := attribution.BuildSubjects(l.AEReddit, l.SubjectOpts())
+	if err != nil {
+		return nil, err
+	}
 	if len(all) == 0 {
 		return nil, errNoAE
 	}

@@ -11,24 +11,35 @@ import (
 // Docs, then freezes a Vocabulary: the top-N word grams and top-N char
 // grams by total corpus frequency (§IV-A: "we order the n-grams by their
 // frequency across the dataset [and] select the top N features").
+//
+// Builders shard cleanly: feed disjoint document subsets to separate
+// builders and Merge them. Corpus frequency, document frequency, and the
+// document count are all plain sums, so a merged builder Builds the exact
+// vocabulary a single builder fed every document would — the top-N cut
+// orders by (frequency desc, gram id asc), which is independent of the
+// order the counts were summed in.
 type VocabBuilder struct {
 	cfg      Config
-	wordFreq map[GramID]int
-	charFreq map[GramID]int
-	wordDF   map[GramID]int
-	charDF   map[GramID]int
+	words    map[GramID]gramStat
+	chars    map[GramID]gramStat
 	numDocs  int
 	freqSeen [NumFreqFeatures]int
+}
+
+// gramStat carries both corpus-wide counters of one gram; keeping them in
+// one map entry halves the hash probes of Add, the hot loop of vocabulary
+// construction.
+type gramStat struct {
+	freq int // total occurrences across the corpus
+	df   int // number of documents containing the gram
 }
 
 // NewVocabBuilder returns a builder for the given configuration.
 func NewVocabBuilder(cfg Config) *VocabBuilder {
 	return &VocabBuilder{
-		cfg:      cfg,
-		wordFreq: make(map[GramID]int),
-		charFreq: make(map[GramID]int),
-		wordDF:   make(map[GramID]int),
-		charDF:   make(map[GramID]int),
+		cfg:   cfg,
+		words: make(map[GramID]gramStat),
+		chars: make(map[GramID]gramStat),
 	}
 }
 
@@ -37,17 +48,45 @@ func NewVocabBuilder(cfg Config) *VocabBuilder {
 func (b *VocabBuilder) Add(d *Doc) {
 	b.numDocs++
 	for g, c := range d.WordGrams {
-		b.wordFreq[g] += c
-		b.wordDF[g]++
+		s := b.words[g]
+		s.freq += c
+		s.df++
+		b.words[g] = s
 	}
 	for g, c := range d.CharGrams {
-		b.charFreq[g] += c
-		b.charDF[g]++
+		s := b.chars[g]
+		s.freq += c
+		s.df++
+		b.chars[g] = s
 	}
 	for i, f := range d.Freq {
 		if f > 0 {
 			b.freqSeen[i]++
 		}
+	}
+}
+
+// Merge folds another builder's statistics into b. The other builder must
+// have seen a disjoint set of documents (each document Added exactly once
+// across all shards); it is left unchanged and may be discarded. Merging
+// commutes with Add: shard-then-merge yields counter-for-counter the same
+// builder state as a single sequential builder.
+func (b *VocabBuilder) Merge(o *VocabBuilder) {
+	b.numDocs += o.numDocs
+	for g, os := range o.words {
+		s := b.words[g]
+		s.freq += os.freq
+		s.df += os.df
+		b.words[g] = s
+	}
+	for g, os := range o.chars {
+		s := b.chars[g]
+		s.freq += os.freq
+		s.df += os.df
+		b.chars[g] = s
+	}
+	for i := range o.freqSeen {
+		b.freqSeen[i] += o.freqSeen[i]
 	}
 }
 
@@ -57,8 +96,8 @@ func (b *VocabBuilder) NumDocs() int { return b.numDocs }
 // Build freezes the vocabulary. The builder can keep accumulating and be
 // rebuilt; Build itself does not mutate the builder.
 func (b *VocabBuilder) Build() *Vocabulary {
-	words := topN(b.wordFreq, b.cfg.MaxWordGrams)
-	chars := topN(b.charFreq, b.cfg.MaxCharGrams)
+	words := topN(b.words, b.cfg.MaxWordGrams)
+	chars := topN(b.chars, b.cfg.MaxCharGrams)
 
 	v := &Vocabulary{
 		cfg:       b.cfg,
@@ -71,12 +110,12 @@ func (b *VocabBuilder) Build() *Vocabulary {
 	n := float64(b.numDocs)
 	for i, g := range words {
 		v.wordIndex[g] = uint32(i)
-		v.wordIDF[i] = idf(n, float64(b.wordDF[g]))
+		v.wordIDF[i] = idf(n, float64(b.words[g].df))
 	}
 	base := uint32(len(words))
 	for i, g := range chars {
 		v.charIndex[g] = base + uint32(i)
-		v.charIDF[i] = idf(n, float64(b.charDF[g]))
+		v.charIDF[i] = idf(n, float64(b.chars[g].df))
 	}
 	return v
 }
@@ -92,21 +131,31 @@ func idf(n, df float64) float64 {
 }
 
 // topN returns the n highest-frequency grams, ties broken by gram id so
-// vocabulary construction is deterministic.
-func topN(freq map[GramID]int, n int) []GramID {
-	grams := make([]GramID, 0, len(freq))
-	for g := range freq {
-		grams = append(grams, g)
+// vocabulary construction is deterministic regardless of how (or in how
+// many shards) the counts were accumulated.
+func topN(stats map[GramID]gramStat, n int) []GramID {
+	// Flatten to (gram, freq) pairs before sorting: a map probe per
+	// comparison dominates the sort of a large gram universe.
+	type gramFreq struct {
+		g    GramID
+		freq int
 	}
-	sort.Slice(grams, func(i, j int) bool {
-		fi, fj := freq[grams[i]], freq[grams[j]]
-		if fi != fj {
-			return fi > fj
+	pairs := make([]gramFreq, 0, len(stats))
+	for g, s := range stats {
+		pairs = append(pairs, gramFreq{g, s.freq})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].freq != pairs[j].freq {
+			return pairs[i].freq > pairs[j].freq
 		}
-		return grams[i] < grams[j]
+		return pairs[i].g < pairs[j].g
 	})
-	if n >= 0 && len(grams) > n {
-		grams = grams[:n]
+	if n >= 0 && len(pairs) > n {
+		pairs = pairs[:n]
+	}
+	grams := make([]GramID, len(pairs))
+	for i, p := range pairs {
+		grams[i] = p.g
 	}
 	return grams
 }

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Platform identifies the kind of site a dataset was collected from.
@@ -85,10 +86,46 @@ type Message struct {
 
 // WordCount counts whitespace-separated tokens in the body. It is the word
 // metric used by every threshold in the paper (≥10-word messages, ≥1,500
-// words per alias, ≥3,000 words for alter-ego sources).
+// words per alias, ≥3,000 words for alter-ego sources). The count equals
+// len(strings.Fields(m.Body)) without materialising the fields — WordCount
+// sits inside every refinement filter and the longest-first sort
+// comparator, where the per-call allocation dominated.
 func (m *Message) WordCount() int {
-	return len(strings.Fields(m.Body))
+	return countWords(m.Body)
 }
+
+// countWords counts maximal runs of non-space runes, the field boundary
+// rule of strings.Fields (unicode.IsSpace).
+func countWords(s string) int {
+	n := 0
+	inField := false
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			// ASCII fast path, mirroring strings.Fields.
+			if asciiSpace[c] {
+				inField = false
+			} else if !inField {
+				n++
+				inField = true
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if unicode.IsSpace(r) {
+			inField = false
+		} else if !inField {
+			n++
+			inField = true
+		}
+		i += size
+	}
+	return n
+}
+
+// asciiSpace marks the ASCII bytes unicode.IsSpace reports true for.
+var asciiSpace = [utf8.RuneSelf]bool{'\t': true, '\n': true, '\v': true, '\f': true, '\r': true, ' ': true}
 
 // DistinctWordRatio returns the number of distinct (case-folded) words over
 // the total number of words. The polishing step 6 of the paper discards
@@ -154,14 +191,27 @@ func (a *Alias) Text() string {
 // SortMessagesByLengthDesc orders messages from the longest (in words) to
 // the shortest, breaking ties by ID for determinism. The paper selects
 // messages longest-first when truncating an alias to 1,500 words.
+// Word counts are computed once per message up front; recomputing them in
+// the comparator made the sort O(n log n) body scans.
 func (a *Alias) SortMessagesByLengthDesc() {
-	sort.SliceStable(a.Messages, func(i, j int) bool {
-		wi, wj := a.Messages[i].WordCount(), a.Messages[j].WordCount()
-		if wi != wj {
-			return wi > wj
+	counts := make([]int, len(a.Messages))
+	order := make([]int, len(a.Messages))
+	for i := range a.Messages {
+		counts[i] = a.Messages[i].WordCount()
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		oi, oj := order[i], order[j]
+		if counts[oi] != counts[oj] {
+			return counts[oi] > counts[oj]
 		}
-		return a.Messages[i].ID < a.Messages[j].ID
+		return a.Messages[oi].ID < a.Messages[oj].ID
 	})
+	sorted := make([]Message, len(a.Messages))
+	for k, idx := range order {
+		sorted[k] = a.Messages[idx]
+	}
+	copy(a.Messages, sorted)
 }
 
 // IsLikelyBot reports whether the alias name starts or ends with "bot"

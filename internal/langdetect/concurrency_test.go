@@ -1,0 +1,128 @@
+package langdetect
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+var concurrencyTexts = []string{
+	"this is a perfectly normal english sentence about shipping and quality",
+	"la calidad era buena pero el envío tardó demasiado tiempo esta vez",
+	"die Qualität war gut aber der Versand hat diesmal zu lange gedauert",
+	"la qualité était bonne mais la livraison a pris trop de temps",
+	"a qualidade era boa mas o envio demorou demasiado tempo desta vez",
+	"de kwaliteit was goed maar de verzending duurde deze keer te lang",
+	"calitatea a fost bună dar livrarea a durat prea mult de data asta",
+	"la qualità era buona ma la spedizione ha impiegato troppo tempo",
+	"mixed bag: gracias for the fast shipping, will order again soon",
+	"!!!! 12345 ????",
+	"",
+	"ok",
+}
+
+// naiveDetect is the pre-fused-table reference implementation: probe every
+// per-language profile map per gram. The fused table must reproduce it
+// bit-for-bit — same sums in the same order.
+func naiveDetect(d *Detector, text string) []Detection {
+	grams := ngrams(normalize(text), d.ngram)
+	if len(grams) == 0 {
+		return nil
+	}
+	type scored struct {
+		lang Lang
+		ll   float64
+	}
+	scores := make([]scored, 0, len(d.profiles))
+	for lang, p := range d.profiles {
+		ll := 0.0
+		for _, g := range grams {
+			if lp, ok := p.logProb[g]; ok {
+				ll += lp
+			} else {
+				ll += p.floorLog
+			}
+		}
+		scores = append(scores, scored{lang, ll / float64(len(grams))})
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].ll != scores[j].ll {
+			return scores[i].ll > scores[j].ll
+		}
+		return scores[i].lang < scores[j].lang
+	})
+	const temperature = 0.05
+	best := scores[0].ll
+	sum := 0.0
+	probs := make([]float64, len(scores))
+	for i, s := range scores {
+		probs[i] = math.Exp((s.ll - best) / temperature)
+		sum += probs[i]
+	}
+	out := make([]Detection, len(scores))
+	for i, s := range scores {
+		out[i] = Detection{Lang: s.lang, Prob: probs[i] / sum}
+	}
+	return out
+}
+
+// TestDetectMatchesNaiveReference pins the fused-table scoring path to the
+// per-profile reference: identical languages, identical posteriors, exact
+// float equality (the fused table stores the very same log-probabilities
+// and the additions happen in the same gram order).
+func TestDetectMatchesNaiveReference(t *testing.T) {
+	d := Default()
+	for _, text := range concurrencyTexts {
+		got := d.Detect(text)
+		want := naiveDetect(d, text)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Detect(%.30q) = %v, naive reference = %v", text, got, want)
+		}
+	}
+}
+
+// TestDetectorConcurrentUse shares one detector across many goroutines and
+// checks every result against a serial pass. Run under -race this pins the
+// concurrency-safety contract the parallel polishing pipeline depends on:
+// a single Detector instance is fanned out over all polish workers.
+func TestDetectorConcurrentUse(t *testing.T) {
+	d := Default()
+	serial := make([][]Detection, len(concurrencyTexts))
+	for i, text := range concurrencyTexts {
+		serial[i] = d.Detect(text)
+	}
+	const goroutines = 8
+	const rounds = 25
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % len(concurrencyTexts)
+				if got := d.Detect(concurrencyTexts[i]); !reflect.DeepEqual(got, serial[i]) {
+					select {
+					case errs <- concurrencyTexts[i]:
+					default:
+					}
+					return
+				}
+				if d.IsEnglish(concurrencyTexts[0], 0.5) != true {
+					select {
+					case errs <- "IsEnglish diverged":
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if bad, ok := <-errs; ok {
+		t.Fatalf("concurrent Detect diverged from serial result on %q", bad)
+	}
+}

@@ -36,11 +36,27 @@ type Detection struct {
 	Prob float64
 }
 
-// Detector scores text against per-language n-gram profiles. It is safe
-// for concurrent use after construction.
+// Detector scores text against per-language n-gram profiles.
+//
+// A Detector is immutable after NewDetector returns: every field — the
+// per-language profiles, the fused scoring table, and the language list —
+// is built once and only read afterwards. It is therefore safe for
+// concurrent use: one shared Detector can serve any number of goroutines
+// (the parallel polishing pipeline fans a single instance out across its
+// workers; internal/langdetect's race test pins this).
 type Detector struct {
 	profiles map[Lang]*profile
 	ngram    int
+
+	// The fused scoring table collapses the per-language profile maps into
+	// one lookup per gram: fused[g][i] is langs[i]'s log-probability for g
+	// (floor-filled when the language never saw g), and floors[i] is
+	// langs[i]'s unseen-gram log-probability. Detect walks grams once and
+	// adds the whole vector, instead of probing len(profiles) maps per
+	// gram — the single largest cost of the english-only polishing step.
+	langs  []Lang
+	fused  map[string][]float64
+	floors []float64
 }
 
 type profile struct {
@@ -70,7 +86,42 @@ func NewDetector(corpora map[Lang]string) *Detector {
 	for lang, text := range corpora {
 		d.profiles[lang] = trainProfile(text, d.ngram)
 	}
+	d.buildFused()
 	return d
+}
+
+// buildFused freezes the fused scoring table: the union of every profile's
+// grams, each mapped to the per-language log-probability vector in langs
+// order. Values are exactly the profile values (or the profile's floor), so
+// fused scoring is bit-identical to probing each profile map in turn.
+func (d *Detector) buildFused() {
+	d.langs = make([]Lang, 0, len(d.profiles))
+	for l := range d.profiles {
+		d.langs = append(d.langs, l)
+	}
+	sort.Slice(d.langs, func(i, j int) bool { return d.langs[i] < d.langs[j] })
+	d.floors = make([]float64, len(d.langs))
+	union := make(map[string]struct{})
+	for i, l := range d.langs {
+		d.floors[i] = d.profiles[l].floorLog
+		for g := range d.profiles[l].logProb {
+			union[g] = struct{}{}
+		}
+	}
+	d.fused = make(map[string][]float64, len(union))
+	backing := make([]float64, len(union)*len(d.langs))
+	for g := range union {
+		v := backing[:len(d.langs):len(d.langs)]
+		backing = backing[len(d.langs):]
+		for i, l := range d.langs {
+			if lp, ok := d.profiles[l].logProb[g]; ok {
+				v[i] = lp
+			} else {
+				v[i] = d.floors[i]
+			}
+		}
+		d.fused[g] = v
+	}
 }
 
 func trainProfile(text string, n int) *profile {
@@ -126,28 +177,54 @@ func ngrams(s string, n int) []string {
 
 // Detect returns language guesses ordered by posterior probability.
 // Empty or letter-free text yields no detections.
+//
+// Scoring walks the text's grams once, adding each gram's fused
+// log-probability vector — the same sums, in the same order, as probing
+// every profile map per gram, but with one hash lookup per gram and no
+// per-gram string allocation.
 func (d *Detector) Detect(text string) []Detection {
-	grams := ngrams(normalize(text), d.ngram)
-	if len(grams) == 0 {
+	padded := " " + normalize(text) + " "
+	n := d.ngram
+	ll := make([]float64, len(d.langs))
+	grams := 0
+	// Ring of rune start offsets: each gram is a byte range of padded, so
+	// the fused-map probe needs no gram string materialised.
+	ring := make([]int, n)
+	runeCount := 0
+	score := func(gram string) {
+		if v, ok := d.fused[gram]; ok {
+			for i, lp := range v {
+				ll[i] += lp
+			}
+		} else {
+			for i, f := range d.floors {
+				ll[i] += f
+			}
+		}
+		grams++
+	}
+	for i := range padded {
+		if runeCount >= n {
+			score(padded[ring[runeCount%n]:i])
+		}
+		ring[runeCount%n] = i
+		runeCount++
+	}
+	if runeCount >= n {
+		score(padded[ring[runeCount%n]:])
+	}
+	if grams == 0 || len(d.langs) == 0 {
 		return nil
 	}
 	type scored struct {
 		lang Lang
 		ll   float64
 	}
-	scores := make([]scored, 0, len(d.profiles))
-	for lang, p := range d.profiles {
-		ll := 0.0
-		for _, g := range grams {
-			if lp, ok := p.logProb[g]; ok {
-				ll += lp
-			} else {
-				ll += p.floorLog
-			}
-		}
+	scores := make([]scored, len(d.langs))
+	for i, lang := range d.langs {
 		// Length-normalise so long messages don't overflow and short ones
 		// remain comparable.
-		scores = append(scores, scored{lang, ll / float64(len(grams))})
+		scores[i] = scored{lang, ll[i] / float64(grams)}
 	}
 	sort.Slice(scores, func(i, j int) bool {
 		if scores[i].ll != scores[j].ll {

@@ -18,13 +18,29 @@
 // Each step is a named Step value so callers can run the full paper
 // pipeline, a subset, or interleave their own steps; the Report records
 // what every step removed, which the tests and the experiment harness use.
+//
+// # Parallel execution
+//
+// Every paper step is alias-local: it reads and writes one alias at a time
+// and never looks across aliases (deduplication is per-alias — vendors
+// repost their own showcase). Running the whole step chain on alias A and
+// then on alias B is therefore indistinguishable from running each step
+// over all aliases in turn, and the Report's counters are plain integer
+// sums, which commute. Pipeline.Run exploits this: with Workers > 1 the
+// aliases fan out over contiguous chunks, each worker runs the full step
+// chain per alias into a private per-step counter block, and the merge sums
+// the blocks in step order. The result — surviving aliases, message bodies,
+// and every Report counter — is bit-identical to the sequential run for
+// any worker count.
 package normalize
 
 import (
 	"fmt"
 	"net/url"
 	"regexp"
+	"runtime"
 	"strings"
+	"sync"
 
 	"darklight/internal/forum"
 	"darklight/internal/langdetect"
@@ -55,6 +71,10 @@ type Step struct {
 	Paper int
 	// Apply runs the step.
 	Apply func(d *forum.Dataset, r *Report)
+	// applyAlias is the alias-local form the parallel runner fans out:
+	// process one alias, accumulate into sr, and report whether the alias
+	// itself is removed. Steps without it force the sequential path.
+	applyAlias func(a *forum.Alias, sr *StepReport) bool
 }
 
 // Report accumulates per-step statistics.
@@ -87,6 +107,7 @@ func (r *Report) add(s StepReport) { r.Steps = append(r.Steps, s) }
 type Pipeline struct {
 	steps    []Step
 	detector *langdetect.Detector
+	workers  int
 }
 
 // Option configures a Pipeline.
@@ -98,25 +119,33 @@ func WithDetector(d *langdetect.Detector) Option {
 	return func(p *Pipeline) { p.detector = d }
 }
 
-// NewPipeline returns the full 12-step paper pipeline.
+// WithWorkers bounds the pipeline's parallelism; n <= 0 means GOMAXPROCS.
+// Output is bit-identical for every worker count (see the package comment),
+// so this is purely a throughput knob.
+func WithWorkers(n int) Option {
+	return func(p *Pipeline) { p.workers = n }
+}
+
+// NewPipeline returns the full 12-step paper pipeline. Runs are parallel
+// over GOMAXPROCS workers by default; WithWorkers adjusts the bound.
 func NewPipeline(opts ...Option) *Pipeline {
 	p := &Pipeline{detector: langdetect.Default()}
 	for _, o := range opts {
 		o(p)
 	}
 	p.steps = []Step{
-		{Name: "drop-bots", Paper: 1, Apply: dropBots},
-		{Name: "dedup-messages", Paper: 2, Apply: dedupMessages},
-		{Name: "strip-quotes", Paper: 8, Apply: stripQuotes},
-		{Name: "strip-edit-marks", Paper: 9, Apply: stripEditMarks},
-		{Name: "strip-pgp", Paper: 11, Apply: stripPGP},
-		{Name: "tag-mail", Paper: 10, Apply: tagMail},
-		{Name: "normalize-urls", Paper: 3, Apply: normalizeURLs},
-		{Name: "strip-emoji", Paper: 4, Apply: stripEmoji},
-		{Name: "drop-long-words", Paper: 12, Apply: dropLongWords},
-		{Name: "english-only", Paper: 7, Apply: p.englishOnly},
-		{Name: "drop-short", Paper: 5, Apply: dropShort},
-		{Name: "drop-spam", Paper: 6, Apply: dropSpam},
+		{Name: "drop-bots", Paper: 1, Apply: dropBots, applyAlias: dropBotsAlias},
+		{Name: "dedup-messages", Paper: 2, Apply: dedupMessages, applyAlias: dedupMessagesAlias},
+		{Name: "strip-quotes", Paper: 8, Apply: stripQuotes, applyAlias: stripQuotesAlias},
+		{Name: "strip-edit-marks", Paper: 9, Apply: stripEditMarks, applyAlias: stripEditMarksAlias},
+		{Name: "strip-pgp", Paper: 11, Apply: stripPGP, applyAlias: stripPGPAlias},
+		{Name: "tag-mail", Paper: 10, Apply: tagMail, applyAlias: tagMailAlias},
+		{Name: "normalize-urls", Paper: 3, Apply: normalizeURLs, applyAlias: normalizeURLsAlias},
+		{Name: "strip-emoji", Paper: 4, Apply: stripEmoji, applyAlias: stripEmojiAlias},
+		{Name: "drop-long-words", Paper: 12, Apply: dropLongWords, applyAlias: dropLongWordsAlias},
+		{Name: "english-only", Paper: 7, Apply: p.englishOnly, applyAlias: p.englishOnlyAlias},
+		{Name: "drop-short", Paper: 5, Apply: dropShort, applyAlias: dropShortAlias},
+		{Name: "drop-spam", Paper: 6, Apply: dropSpam, applyAlias: dropSpamAlias},
 	}
 	return p
 }
@@ -137,10 +166,25 @@ func (p *Pipeline) Steps() []string {
 // steps (quotes, PGP, mail, URLs, emoji) run before the filters that
 // measure length, spam ratio, and language, so the filters see the text the
 // feature extractor will see.
+//
+// With more than one worker the aliases fan out over a worker pool; the
+// result is bit-identical to the sequential run (see the package comment).
 func (p *Pipeline) Run(d *forum.Dataset) *Report {
-	r := &Report{}
-	for _, s := range p.steps {
-		s.Apply(d, r)
+	workers := p.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > d.Len() {
+		workers = d.Len()
+	}
+	var r *Report
+	if workers > 1 && p.perAliasCapable() {
+		r = p.runParallel(d, workers)
+	} else {
+		r = &Report{}
+		for _, s := range p.steps {
+			s.Apply(d, r)
+		}
 	}
 	// Final sweep: drop aliases that lost all messages.
 	before := d.Len()
@@ -150,21 +194,92 @@ func (p *Pipeline) Run(d *forum.Dataset) *Report {
 	return r
 }
 
-// --- step 1: bots ---
+// perAliasCapable reports whether every step carries the alias-local form
+// the parallel runner needs.
+func (p *Pipeline) perAliasCapable() bool {
+	for i := range p.steps {
+		if p.steps[i].applyAlias == nil {
+			return false
+		}
+	}
+	return true
+}
 
-func dropBots(d *forum.Dataset, r *Report) {
-	before := d.Len()
-	msgs := 0
+// runParallel fans the aliases out over contiguous chunks. Each worker runs
+// the full step chain alias by alias into a private per-step counter block;
+// blocks merge by integer summation in step order, and dropped aliases are
+// compacted in input order — both bit-identical to the sequential run.
+func (p *Pipeline) runParallel(d *forum.Dataset, workers int) *Report {
+	n := d.Len()
+	accs := make([][]StepReport, workers)
+	dropped := make([]bool, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		acc := make([]StepReport, len(p.steps))
+		accs[w] = acc
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				a := &d.Aliases[i]
+				for si := range p.steps {
+					if p.steps[si].applyAlias(a, &acc[si]) {
+						dropped[i] = true
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	r := &Report{Steps: make([]StepReport, len(p.steps))}
+	for si := range p.steps {
+		m := &r.Steps[si]
+		m.Name = p.steps[si].Name
+		for w := range accs {
+			m.AliasesRemoved += accs[w][si].AliasesRemoved
+			m.MessagesRemoved += accs[w][si].MessagesRemoved
+			m.MessagesModified += accs[w][si].MessagesModified
+		}
+	}
 	kept := d.Aliases[:0]
 	for i := range d.Aliases {
-		if d.Aliases[i].IsLikelyBot() {
-			msgs += len(d.Aliases[i].Messages)
+		if dropped[i] {
 			continue
 		}
 		kept = append(kept, d.Aliases[i])
 	}
 	d.Aliases = kept
-	r.add(StepReport{Name: "drop-bots", AliasesRemoved: before - d.Len(), MessagesRemoved: msgs})
+	return r
+}
+
+// applyPerAlias runs an alias-local step over the whole dataset — the
+// sequential Apply form every paper step derives from.
+func applyPerAlias(name string, fn func(*forum.Alias, *StepReport) bool, d *forum.Dataset, r *Report) {
+	sr := StepReport{Name: name}
+	kept := d.Aliases[:0]
+	for i := range d.Aliases {
+		if fn(&d.Aliases[i], &sr) {
+			continue
+		}
+		kept = append(kept, d.Aliases[i])
+	}
+	d.Aliases = kept
+	r.add(sr)
+}
+
+// --- step 1: bots ---
+
+func dropBots(d *forum.Dataset, r *Report) { applyPerAlias("drop-bots", dropBotsAlias, d, r) }
+
+func dropBotsAlias(a *forum.Alias, sr *StepReport) bool {
+	if !a.IsLikelyBot() {
+		return false
+	}
+	sr.AliasesRemoved++
+	sr.MessagesRemoved += len(a.Messages)
+	return true
 }
 
 // --- step 2: duplicates ---
@@ -173,26 +288,26 @@ func dropBots(d *forum.Dataset, r *Report) {
 // showcase; redditors cross-post across subreddits). The first occurrence
 // by timestamp wins so activity profiles keep the original posting time.
 func dedupMessages(d *forum.Dataset, r *Report) {
-	removed := 0
-	for i := range d.Aliases {
-		a := &d.Aliases[i]
-		seen := make(map[string]int, len(a.Messages)) // body → index of kept msg
-		kept := a.Messages[:0]
-		for _, m := range a.Messages {
-			key := strings.TrimSpace(m.Body)
-			if j, dup := seen[key]; dup {
-				if m.PostedAt.Before(kept[j].PostedAt) {
-					kept[j] = m
-				}
-				removed++
-				continue
+	applyPerAlias("dedup-messages", dedupMessagesAlias, d, r)
+}
+
+func dedupMessagesAlias(a *forum.Alias, sr *StepReport) bool {
+	seen := make(map[string]int, len(a.Messages)) // body → index of kept msg
+	kept := a.Messages[:0]
+	for _, m := range a.Messages {
+		key := strings.TrimSpace(m.Body)
+		if j, dup := seen[key]; dup {
+			if m.PostedAt.Before(kept[j].PostedAt) {
+				kept[j] = m
 			}
-			seen[key] = len(kept)
-			kept = append(kept, m)
+			sr.MessagesRemoved++
+			continue
 		}
-		a.Messages = kept
+		seen[key] = len(kept)
+		kept = append(kept, m)
 	}
-	r.add(StepReport{Name: "dedup-messages", MessagesRemoved: removed})
+	a.Messages = kept
+	return false
 }
 
 // --- step 3: URLs ---
@@ -219,92 +334,96 @@ func NormalizeURL(raw string) string {
 }
 
 func normalizeURLs(d *forum.Dataset, r *Report) {
-	modified := 0
-	for i := range d.Aliases {
-		for j := range d.Aliases[i].Messages {
-			m := &d.Aliases[i].Messages[j]
-			out := schemeURLRe.ReplaceAllStringFunc(m.Body, NormalizeURL)
-			if out != m.Body {
-				m.Body = out
-				modified++
-			}
+	applyPerAlias("normalize-urls", normalizeURLsAlias, d, r)
+}
+
+func normalizeURLsAlias(a *forum.Alias, sr *StepReport) bool {
+	for j := range a.Messages {
+		m := &a.Messages[j]
+		// The pattern requires a literal "://"; most bodies have none, and
+		// the substring probe is far cheaper than the regexp engine.
+		if !strings.Contains(m.Body, "://") {
+			continue
+		}
+		out := schemeURLRe.ReplaceAllStringFunc(m.Body, NormalizeURL)
+		if out != m.Body {
+			m.Body = out
+			sr.MessagesModified++
 		}
 	}
-	r.add(StepReport{Name: "normalize-urls", MessagesModified: modified})
+	return false
 }
 
 // --- step 4: emoji ---
 
-func stripEmoji(d *forum.Dataset, r *Report) {
-	modified := 0
-	for i := range d.Aliases {
-		for j := range d.Aliases[i].Messages {
-			m := &d.Aliases[i].Messages[j]
-			out := tokenize.StripEmoji(m.Body)
-			if out != m.Body {
-				m.Body = out
-				modified++
-			}
+func stripEmoji(d *forum.Dataset, r *Report) { applyPerAlias("strip-emoji", stripEmojiAlias, d, r) }
+
+func stripEmojiAlias(a *forum.Alias, sr *StepReport) bool {
+	for j := range a.Messages {
+		m := &a.Messages[j]
+		out := tokenize.StripEmoji(m.Body)
+		if out != m.Body {
+			m.Body = out
+			sr.MessagesModified++
 		}
 	}
-	r.add(StepReport{Name: "strip-emoji", MessagesModified: modified})
+	return false
 }
 
 // --- step 5: short messages ---
 
-func dropShort(d *forum.Dataset, r *Report) {
-	removed := 0
-	for i := range d.Aliases {
-		a := &d.Aliases[i]
-		kept := a.Messages[:0]
-		for _, m := range a.Messages {
-			if m.WordCount() < MinWords {
-				removed++
-				continue
-			}
-			kept = append(kept, m)
+func dropShort(d *forum.Dataset, r *Report) { applyPerAlias("drop-short", dropShortAlias, d, r) }
+
+func dropShortAlias(a *forum.Alias, sr *StepReport) bool {
+	kept := a.Messages[:0]
+	for _, m := range a.Messages {
+		if m.WordCount() < MinWords {
+			sr.MessagesRemoved++
+			continue
 		}
-		a.Messages = kept
+		kept = append(kept, m)
 	}
-	r.add(StepReport{Name: "drop-short", MessagesRemoved: removed})
+	a.Messages = kept
+	return false
 }
 
 // --- step 6: spam ratio ---
 
-func dropSpam(d *forum.Dataset, r *Report) {
-	removed := 0
-	for i := range d.Aliases {
-		a := &d.Aliases[i]
-		kept := a.Messages[:0]
-		for _, m := range a.Messages {
-			if m.DistinctWordRatio() < MinDistinctRatio {
-				removed++
-				continue
-			}
-			kept = append(kept, m)
+func dropSpam(d *forum.Dataset, r *Report) { applyPerAlias("drop-spam", dropSpamAlias, d, r) }
+
+func dropSpamAlias(a *forum.Alias, sr *StepReport) bool {
+	kept := a.Messages[:0]
+	for _, m := range a.Messages {
+		if m.DistinctWordRatio() < MinDistinctRatio {
+			sr.MessagesRemoved++
+			continue
 		}
-		a.Messages = kept
+		kept = append(kept, m)
 	}
-	r.add(StepReport{Name: "drop-spam", MessagesRemoved: removed})
+	a.Messages = kept
+	return false
 }
 
 // --- step 7: language ---
 
 func (p *Pipeline) englishOnly(d *forum.Dataset, r *Report) {
-	removed := 0
-	for i := range d.Aliases {
-		a := &d.Aliases[i]
-		kept := a.Messages[:0]
-		for _, m := range a.Messages {
-			if !p.detector.IsEnglish(m.Body, MinEnglishProb) {
-				removed++
-				continue
-			}
-			kept = append(kept, m)
+	applyPerAlias("english-only", p.englishOnlyAlias, d, r)
+}
+
+// englishOnlyAlias shares p.detector across workers — the detector is
+// immutable after construction and documented concurrency-safe (see
+// langdetect.Detector and its race test).
+func (p *Pipeline) englishOnlyAlias(a *forum.Alias, sr *StepReport) bool {
+	kept := a.Messages[:0]
+	for _, m := range a.Messages {
+		if !p.detector.IsEnglish(m.Body, MinEnglishProb) {
+			sr.MessagesRemoved++
+			continue
 		}
-		a.Messages = kept
+		kept = append(kept, m)
 	}
-	r.add(StepReport{Name: "english-only", MessagesRemoved: removed})
+	a.Messages = kept
+	return false
 }
 
 // --- step 8: quotes ---
@@ -363,22 +482,30 @@ func stripBBQuotes(body string) string {
 }
 
 func stripQuotes(d *forum.Dataset, r *Report) {
-	modified := 0
-	for i := range d.Aliases {
-		for j := range d.Aliases[i].Messages {
-			m := &d.Aliases[i].Messages[j]
-			body := m.Body
-			if m.Quoted != "" {
-				body = strings.ReplaceAll(body, m.Quoted, " ")
-			}
-			out := StripQuoteText(body)
-			if out != m.Body {
-				m.Body = out
-				modified++
-			}
+	applyPerAlias("strip-quotes", stripQuotesAlias, d, r)
+}
+
+func stripQuotesAlias(a *forum.Alias, sr *StepReport) bool {
+	for j := range a.Messages {
+		m := &a.Messages[j]
+		body := m.Body
+		if m.Quoted != "" {
+			body = strings.ReplaceAll(body, m.Quoted, " ")
+		}
+		var out string
+		if strings.IndexByte(body, '>') < 0 && strings.IndexByte(body, '[') < 0 {
+			// Without a '>' no line has a quote prefix and without a '[' no
+			// BB tag opens, so StripQuoteText reduces to TrimSpace.
+			out = strings.TrimSpace(body)
+		} else {
+			out = StripQuoteText(body)
+		}
+		if out != m.Body {
+			m.Body = out
+			sr.MessagesModified++
 		}
 	}
-	r.add(StepReport{Name: "strip-quotes", MessagesModified: modified})
+	return false
 }
 
 // --- step 9: edit marks ---
@@ -387,79 +514,127 @@ func stripQuotes(d *forum.Dataset, r *Report) {
 // end of line — the platform-added attribution string of §III-C(9).
 var editMarkRe = regexp.MustCompile(`(?im)^\s*(?:last\s+)?edit(?:ed)?\s*(?:by\s+\S+|:)?[^\n]*$`)
 
-func stripEditMarks(d *forum.Dataset, r *Report) {
-	modified := 0
-	for i := range d.Aliases {
-		for j := range d.Aliases[i].Messages {
-			m := &d.Aliases[i].Messages[j]
-			out := strings.TrimSpace(editMarkRe.ReplaceAllString(m.Body, ""))
-			if out != m.Body {
-				m.Body = out
-				modified++
-			}
+// containsEditFold reports whether s contains "edit" under ASCII case
+// folding — a necessary condition for editMarkRe to match, checked before
+// invoking the far costlier regexp engine.
+func containsEditFold(s string) bool {
+	for i := 0; i+4 <= len(s); i++ {
+		if s[i]|0x20 == 'e' && s[i+1]|0x20 == 'd' && s[i+2]|0x20 == 'i' && s[i+3]|0x20 == 't' {
+			return true
 		}
 	}
-	r.add(StepReport{Name: "strip-edit-marks", MessagesModified: modified})
+	return false
+}
+
+func stripEditMarks(d *forum.Dataset, r *Report) {
+	applyPerAlias("strip-edit-marks", stripEditMarksAlias, d, r)
+}
+
+func stripEditMarksAlias(a *forum.Alias, sr *StepReport) bool {
+	for j := range a.Messages {
+		m := &a.Messages[j]
+		if !containsEditFold(m.Body) {
+			// The regexp cannot match, so the step reduces to the trailing
+			// TrimSpace (TrimSpace slices, it never allocates).
+			if out := strings.TrimSpace(m.Body); out != m.Body {
+				m.Body = out
+				sr.MessagesModified++
+			}
+			continue
+		}
+		out := strings.TrimSpace(editMarkRe.ReplaceAllString(m.Body, ""))
+		if out != m.Body {
+			m.Body = out
+			sr.MessagesModified++
+		}
+	}
+	return false
 }
 
 // --- step 10: mail addresses ---
 
 var mailRe = regexp.MustCompile(`[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}`)
 
-func tagMail(d *forum.Dataset, r *Report) {
-	modified := 0
-	for i := range d.Aliases {
-		for j := range d.Aliases[i].Messages {
-			m := &d.Aliases[i].Messages[j]
-			out := mailRe.ReplaceAllString(m.Body, MailTag)
-			if out != m.Body {
-				m.Body = out
-				modified++
-			}
+func tagMail(d *forum.Dataset, r *Report) { applyPerAlias("tag-mail", tagMailAlias, d, r) }
+
+func tagMailAlias(a *forum.Alias, sr *StepReport) bool {
+	for j := range a.Messages {
+		m := &a.Messages[j]
+		// An address needs a literal '@'; skip the regexp without one.
+		if strings.IndexByte(m.Body, '@') < 0 {
+			continue
+		}
+		out := mailRe.ReplaceAllString(m.Body, MailTag)
+		if out != m.Body {
+			m.Body = out
+			sr.MessagesModified++
 		}
 	}
-	r.add(StepReport{Name: "tag-mail", MessagesModified: modified})
+	return false
 }
 
 // --- step 11: PGP ---
 
-func stripPGP(d *forum.Dataset, r *Report) {
-	modified := 0
-	for i := range d.Aliases {
-		for j := range d.Aliases[i].Messages {
-			m := &d.Aliases[i].Messages[j]
-			if !tokenize.ContainsPGP(m.Body) {
-				continue
-			}
-			m.Body = tokenize.StripPGP(m.Body)
-			modified++
+func stripPGP(d *forum.Dataset, r *Report) { applyPerAlias("strip-pgp", stripPGPAlias, d, r) }
+
+func stripPGPAlias(a *forum.Alias, sr *StepReport) bool {
+	for j := range a.Messages {
+		m := &a.Messages[j]
+		if !tokenize.ContainsPGP(m.Body) {
+			continue
 		}
+		m.Body = tokenize.StripPGP(m.Body)
+		sr.MessagesModified++
 	}
-	r.add(StepReport{Name: "strip-pgp", MessagesModified: modified})
+	return false
 }
 
 // --- step 12: overlong words ---
 
-func dropLongWords(d *forum.Dataset, r *Report) {
-	modified := 0
-	for i := range d.Aliases {
-		for j := range d.Aliases[i].Messages {
-			m := &d.Aliases[i].Messages[j]
-			fields := strings.Fields(m.Body)
-			changed := false
-			kept := fields[:0]
-			for _, f := range fields {
-				if len([]rune(f)) > MaxWordLen {
-					changed = true
-					continue
-				}
-				kept = append(kept, f)
-			}
-			if changed {
-				m.Body = strings.Join(kept, " ")
-				modified++
+// mayHaveLongWord reports whether any run of non-(ASCII-space) bytes
+// exceeds MaxWordLen bytes. A token longer than MaxWordLen runes spans at
+// least that many bytes and contains no ASCII whitespace, so a false
+// result proves no word can be dropped — without the Fields/Join pass.
+func mayHaveLongWord(s string) bool {
+	run := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\n', '\v', '\f', '\r':
+			run = 0
+		default:
+			run++
+			if run > MaxWordLen {
+				return true
 			}
 		}
 	}
-	r.add(StepReport{Name: "drop-long-words", MessagesModified: modified})
+	return false
+}
+
+func dropLongWords(d *forum.Dataset, r *Report) {
+	applyPerAlias("drop-long-words", dropLongWordsAlias, d, r)
+}
+
+func dropLongWordsAlias(a *forum.Alias, sr *StepReport) bool {
+	for j := range a.Messages {
+		m := &a.Messages[j]
+		if !mayHaveLongWord(m.Body) {
+			continue
+		}
+		fields := strings.Fields(m.Body)
+		changed := false
+		kept := fields[:0]
+		for _, f := range fields {
+			if len([]rune(f)) > MaxWordLen {
+				changed = true
+				continue
+			}
+			kept = append(kept, f)
+		}
+		if changed {
+			m.Body = strings.Join(kept, " ")
+			sr.MessagesModified++
+		}
+	}
+	return false
 }
