@@ -23,13 +23,17 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:8989", "listen address")
-		which    = flag.String("forum", "tmg", "synthetic forum to serve: reddit, tmg, or dm")
-		scale    = flag.Float64("scale", 0.02, "synthetic population scale")
-		seed     = flag.Uint64("seed", 1, "generator seed")
-		load     = flag.String("load", "", "serve this JSONL dataset instead of generating")
-		latency  = flag.Duration("latency", 0, "artificial per-request latency")
-		failures = flag.Float64("failures", 0, "probability of a 503 per request")
+		listen     = flag.String("listen", "127.0.0.1:8989", "listen address")
+		which      = flag.String("forum", "tmg", "synthetic forum to serve: reddit, tmg, or dm")
+		scale      = flag.Float64("scale", 0.02, "synthetic population scale")
+		seed       = flag.Uint64("seed", 1, "generator seed")
+		load       = flag.String("load", "", "serve this JSONL dataset instead of generating")
+		latency    = flag.Duration("latency", 0, "artificial per-request latency")
+		failures   = flag.Float64("failures", 0, "probability of a 503 per request")
+		rateLimits = flag.Float64("ratelimits", 0, "probability of a 429 with Retry-After per request")
+		truncate   = flag.Float64("truncate", 0, "probability of a torn (truncated) response body")
+		stall      = flag.Float64("stall", 0, "probability of a response stalling mid-body")
+		flaky      = flag.Int("failfirst", 0, "every page 503s its first N requests, then succeeds")
 	)
 	flag.Parse()
 
@@ -40,9 +44,13 @@ func main() {
 	}
 
 	srv := darkweb.NewServer(dataset.Name, dataset, darkweb.Options{
-		Latency:     *latency,
-		FailureRate: *failures,
-		Seed:        int64(*seed),
+		Latency:        *latency,
+		FailureRate:    *failures,
+		RetryAfterRate: *rateLimits,
+		TruncateRate:   *truncate,
+		StallRate:      *stall,
+		FailFirstN:     *flaky,
+		Seed:           int64(*seed),
 	})
 	log.Printf("forumd: serving %s (%d aliases, %d messages, boards %v) on http://%s",
 		dataset.Name, dataset.Len(), dataset.TotalMessages(), srv.Boards(), *listen)

@@ -2,7 +2,13 @@
 //
 // Usage:
 //
-//	scrape -url http://127.0.0.1:8989 -out tmg.jsonl [-interval 50ms]
+//	scrape -url http://127.0.0.1:8989 -out tmg.jsonl [-interval 50ms] [-workers 4] [-resume crawl.ckpt]
+//
+// With -resume, completed threads are journaled to the named checkpoint
+// file as the crawl runs; re-running the same command after an interrupt
+// (Ctrl-C, network death) picks up where the crawl stopped instead of
+// refetching. Threads that stay unreachable after retries are skipped
+// and summarised on stderr — the partial dataset is still written.
 package main
 
 import (
@@ -24,7 +30,10 @@ func main() {
 		base     = flag.String("url", "http://127.0.0.1:8989", "forum base URL")
 		out      = flag.String("out", "scraped.jsonl", "output JSONL path")
 		name     = flag.String("name", "scraped", "dataset name")
-		interval = flag.Duration("interval", 20*time.Millisecond, "politeness delay between requests")
+		interval = flag.Duration("interval", 20*time.Millisecond, "politeness delay between requests (shared by all workers)")
+		workers  = flag.Int("workers", 4, "concurrent thread fetchers")
+		retries  = flag.Int("retries", 4, "retry budget per page for transient failures (-1 disables retries)")
+		resume   = flag.String("resume", "", "checkpoint journal path; reused across runs to resume an interrupted crawl")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -32,7 +41,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := scraper.Options{RequestInterval: *interval}
+	opts := scraper.Options{
+		RequestInterval: *interval,
+		Workers:         *workers,
+		MaxRetries:      *retries,
+		CheckpointPath:  *resume,
+	}
+	if *retries < 0 {
+		opts.MaxRetries = scraper.NoRetries
+	}
 	if !*quiet {
 		opts.Logf = log.Printf
 	}
@@ -40,15 +57,22 @@ func main() {
 	start := time.Now()
 	dataset, err := sc.Scrape(ctx, *name, forum.PlatformSynthetic)
 	if err != nil {
+		if ctx.Err() != nil && *resume != "" {
+			fmt.Fprintf(os.Stderr, "scrape: interrupted — re-run with -resume %s to continue\n", *resume)
+		}
 		fmt.Fprintln(os.Stderr, "scrape:", err)
 		os.Exit(1)
+	}
+	for _, ce := range sc.Errors() {
+		fmt.Fprintln(os.Stderr, "scrape: gave up on", ce.String())
 	}
 	if err := darklight.SaveJSONL(*out, dataset); err != nil {
 		fmt.Fprintln(os.Stderr, "scrape:", err)
 		os.Exit(1)
 	}
 	st := sc.Stats()
-	log.Printf("scrape: %d aliases, %d posts from %d threads on %d boards (%d requests, %d retries) in %s → %s",
+	log.Printf("scrape: %d aliases, %d posts from %d threads on %d boards "+
+		"(%d requests, %d retries, %d threads resumed, %d failed) in %s → %s",
 		dataset.Len(), st.Posts, st.Threads, st.Boards, st.Requests, st.Retries,
-		time.Since(start).Round(time.Millisecond), *out)
+		st.Resumed, st.Failed, time.Since(start).Round(time.Millisecond), *out)
 }

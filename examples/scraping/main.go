@@ -1,7 +1,10 @@
 // Scraping: the data-collection story of §III-B end to end, in-process. A
-// synthetic Dream-Market-style forum is served over HTTP (with injected
-// latency and transient 503s), the polite scraper crawls it board by
-// board, and the result round-trips through the polishing pipeline.
+// synthetic Dream-Market-style forum is served over HTTP with the full
+// hostile-circuit repertoire — latency, transient 503s, 429 rate-limit
+// pushback with Retry-After, truncated bodies, per-page flakiness — and
+// the concurrent polite scraper crawls it thread by thread over a worker
+// pool, journaling completed threads to a checkpoint as it goes. The
+// result round-trips losslessly into the polishing pipeline.
 //
 //	go run ./examples/scraping
 package main
@@ -11,6 +14,8 @@ import (
 	"fmt"
 	"log"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"time"
 
 	"darklight"
@@ -28,18 +33,34 @@ func main() {
 	fmt.Printf("serving synthetic Dream Market: %d aliases, %d messages\n",
 		original.Len(), original.TotalMessages())
 
-	// A hidden service with a slow, flaky circuit.
+	// A hidden service with a slow, flaky, rate-limiting circuit that
+	// occasionally tears responses mid-body.
 	srv := darkweb.NewServer("dream-market", original, darkweb.Options{
-		Latency:     2 * time.Millisecond,
-		FailureRate: 0.05,
-		Seed:        99,
+		Latency:        2 * time.Millisecond,
+		FailureRate:    0.05,
+		RetryAfterRate: 0.03,
+		RetryAfter:     time.Second, // the scraper caps the wait at BackoffMax
+		TruncateRate:   0.03,
+		FailFirstN:     1, // every page flakes once before it loads
+		Seed:           99,
 	})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
+	ckptDir, err := os.MkdirTemp("", "darklight-scrape")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(ckptDir)
+	ckpt := filepath.Join(ckptDir, "dm.ckpt")
+
 	sc := scraper.New(ts.URL, scraper.Options{
 		RequestInterval: time.Millisecond,
-		MaxRetries:      6,
+		Workers:         8,
+		MaxRetries:      8,
+		BackoffBase:     2 * time.Millisecond,
+		BackoffMax:      20 * time.Millisecond,
+		CheckpointPath:  ckpt,
 	})
 	start := time.Now()
 	scraped, err := sc.Scrape(context.Background(), "DM", forum.PlatformDreamMarket)
@@ -48,15 +69,38 @@ func main() {
 	}
 	st := sc.Stats()
 	fmt.Printf("scraped %d aliases / %d posts from %d threads on %d boards "+
-		"(%d requests, %d retries after 503s) in %s\n",
+		"(%d requests, %d retries after 503s/429s/truncations) in %s\n",
 		scraped.Len(), st.Posts, st.Threads, st.Boards,
 		st.Requests, st.Retries, time.Since(start).Round(time.Millisecond))
+	for _, ce := range sc.Errors() {
+		fmt.Println("gave up on", ce.String())
+	}
 
 	if scraped.TotalMessages() != original.TotalMessages() {
 		log.Fatalf("lost messages: scraped %d, original %d",
 			scraped.TotalMessages(), original.TotalMessages())
 	}
 	fmt.Println("scrape is lossless ✓")
+
+	// Run again with the same checkpoint: every thread restores from the
+	// journal — this is what resuming an interrupted crawl looks like.
+	resume := scraper.New(ts.URL, scraper.Options{
+		RequestInterval: time.Millisecond,
+		Workers:         8,
+		MaxRetries:      8,
+		BackoffBase:     2 * time.Millisecond,
+		BackoffMax:      20 * time.Millisecond,
+		CheckpointPath:  ckpt,
+	})
+	start = time.Now()
+	again, err := resume.Scrape(context.Background(), "DM", forum.PlatformDreamMarket)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rst := resume.Stats()
+	fmt.Printf("resume from checkpoint: %d/%d threads restored, %d requests, %d posts in %s\n",
+		rst.Resumed, rst.Threads, rst.Requests, again.TotalMessages(),
+		time.Since(start).Round(time.Millisecond))
 
 	// Hand the scrape to the analysis pipeline, as cmd/scrape + cmd/darklight
 	// would via JSONL files.

@@ -3,8 +3,8 @@
 // pages with posts. It is the test double for the paper's data-collection
 // targets ("these sites do not have open APIs; we had to scrape the
 // content of the forums", §III-B) — the scraper package crawls it exactly
-// as it would crawl the real thing, including slow responses and transient
-// errors.
+// as it would crawl the real thing, including slow responses, transient
+// errors, rate-limit pushback, stalled circuits, and truncated bodies.
 package darkweb
 
 import (
@@ -12,6 +12,7 @@ import (
 	"html"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -27,13 +28,38 @@ const PostsPerPage = 20
 // ThreadsPerPage is the board pagination size.
 const ThreadsPerPage = 25
 
-// Options tune the server's failure injection.
+// Options tune the server's failure injection. All rates are independent
+// probabilities evaluated per request, in the order: FailFirstN,
+// FailureRate, RetryAfterRate, then (on the content path) StallRate and
+// TruncateRate.
 type Options struct {
 	// Latency delays every response (simulated Tor circuit time).
 	Latency time.Duration
 	// FailureRate is the probability of answering 503 instead of content
 	// (the scraper must retry). 0 disables.
 	FailureRate float64
+	// RetryAfterRate is the probability of answering 429 Too Many Requests
+	// with a Retry-After header — the forum telling the scraper to slow
+	// down. 0 disables.
+	RetryAfterRate float64
+	// RetryAfter is the Retry-After header value, rounded up to whole
+	// seconds as the header demands (default 1s when RetryAfterRate > 0).
+	RetryAfter time.Duration
+	// StallRate is the probability that a response writes half its body,
+	// then stalls for StallFor before completing — a congested circuit. A
+	// client with a deadline sees a timeout mid-body. 0 disables.
+	StallRate float64
+	// StallFor is how long a stalled response hangs (default 1s when
+	// StallRate > 0).
+	StallFor time.Duration
+	// TruncateRate is the probability that a response declares the full
+	// Content-Length but closes after half the body — a collapsed circuit.
+	// The client sees an unexpected EOF. 0 disables.
+	TruncateRate float64
+	// FailFirstN makes every distinct URL (path + query) answer 503 to its
+	// first N requests and succeed afterwards — deterministic per-page
+	// flakiness for retry and pagination tests. 0 disables.
+	FailFirstN int
 	// Seed drives failure injection.
 	Seed int64
 }
@@ -45,6 +71,7 @@ type Server struct {
 
 	mu      sync.Mutex
 	rng     *rand.Rand
+	hits    map[string]int             // URL → requests seen (FailFirstN)
 	boards  []string
 	threads map[string][]string        // board → thread ids (sorted)
 	posts   map[string][]forum.Message // thread id → posts by time
@@ -53,10 +80,17 @@ type Server struct {
 // NewServer indexes the dataset into boards and threads. Messages without
 // a thread are grouped into a per-board "general" thread.
 func NewServer(name string, d *forum.Dataset, opts Options) *Server {
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = time.Second
+	}
+	if opts.StallFor <= 0 {
+		opts.StallFor = time.Second
+	}
 	s := &Server{
 		name:    name,
 		opts:    opts,
 		rng:     rand.New(rand.NewSource(opts.Seed)),
+		hits:    make(map[string]int),
 		threads: make(map[string][]string),
 		posts:   make(map[string][]forum.Message),
 	}
@@ -110,23 +144,58 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// roll draws one uniform [0,1) variate under the lock.
+func (s *Server) roll() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Float64()
+}
+
 // withChaos applies latency and failure injection.
 func (s *Server) withChaos(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.opts.Latency > 0 {
 			time.Sleep(s.opts.Latency)
 		}
-		if s.opts.FailureRate > 0 {
+		if s.opts.FailFirstN > 0 {
+			key := r.URL.EscapedPath()
+			if q := r.URL.RawQuery; q != "" {
+				key += "?" + q
+			}
 			s.mu.Lock()
-			fail := s.rng.Float64() < s.opts.FailureRate
+			s.hits[key]++
+			flaky := s.hits[key] <= s.opts.FailFirstN
 			s.mu.Unlock()
-			if fail {
-				http.Error(w, "circuit collapsed, try again", http.StatusServiceUnavailable)
+			if flaky {
+				http.Error(w, "page flaked, try again", http.StatusServiceUnavailable)
 				return
 			}
 		}
+		if s.opts.FailureRate > 0 && s.roll() < s.opts.FailureRate {
+			http.Error(w, "circuit collapsed, try again", http.StatusServiceUnavailable)
+			return
+		}
+		if s.opts.RetryAfterRate > 0 && s.roll() < s.opts.RetryAfterRate {
+			secs := int((s.opts.RetryAfter + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			http.Error(w, "slow down", http.StatusTooManyRequests)
+			return
+		}
 		h(w, r)
 	}
+}
+
+// pathID recovers the raw board/thread id from the request path. Handlers
+// work on the escaped path so ids containing '/', '?', '"', spaces, or
+// any other hostile byte survive the round trip (the index emits
+// PathEscape'd hrefs, the scraper unescapes them back).
+func pathID(r *http.Request, prefix string) (string, bool) {
+	esc := strings.TrimPrefix(r.URL.EscapedPath(), prefix)
+	id, err := url.PathUnescape(esc)
+	if err != nil || id == "" {
+		return "", false
+	}
+	return id, true
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -139,14 +208,18 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "<h1>%s</h1>\n<ul class=\"boards\">\n", html.EscapeString(s.name))
 	for _, board := range s.boards {
 		fmt.Fprintf(&b, "<li><a class=\"board\" href=\"/board/%s\">%s</a> (%d threads)</li>\n",
-			board, html.EscapeString(board), len(s.threads[board]))
+			url.PathEscape(board), html.EscapeString(board), len(s.threads[board]))
 	}
 	b.WriteString("</ul></body></html>\n")
-	writeHTML(w, b.String())
+	s.writeHTML(w, r, b.String())
 }
 
 func (s *Server) handleBoard(w http.ResponseWriter, r *http.Request) {
-	board := strings.TrimPrefix(r.URL.Path, "/board/")
+	board, ok := pathID(r, "/board/")
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
 	threads, ok := s.threads[board]
 	if !ok {
 		http.NotFound(w, r)
@@ -158,18 +231,22 @@ func (s *Server) handleBoard(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "<html><body><h2>board: %s</h2>\n<ul class=\"threads\">\n", html.EscapeString(board))
 	for _, t := range threads[start:end] {
 		fmt.Fprintf(&b, "<li><a class=\"thread\" href=\"/thread/%s\">%s</a> (%d posts)</li>\n",
-			t, html.EscapeString(t), len(s.posts[t]))
+			url.PathEscape(t), html.EscapeString(t), len(s.posts[t]))
 	}
 	b.WriteString("</ul>\n")
 	if page < last {
-		fmt.Fprintf(&b, "<a class=\"next\" href=\"/board/%s?page=%d\">next</a>\n", board, page+1)
+		fmt.Fprintf(&b, "<a class=\"next\" href=\"/board/%s?page=%d\">next</a>\n", url.PathEscape(board), page+1)
 	}
 	b.WriteString("</body></html>\n")
-	writeHTML(w, b.String())
+	s.writeHTML(w, r, b.String())
 }
 
 func (s *Server) handleThread(w http.ResponseWriter, r *http.Request) {
-	thread := strings.TrimPrefix(r.URL.Path, "/thread/")
+	thread, ok := pathID(r, "/thread/")
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
 	posts, ok := s.posts[thread]
 	if !ok {
 		http.NotFound(w, r)
@@ -180,20 +257,43 @@ func (s *Server) handleThread(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "<html><body><h2>thread: %s</h2>\n", html.EscapeString(thread))
 	for _, p := range posts[start:end] {
+		// Attribute values are entity-escaped, not %q-escaped: the
+		// scraper's parser understands &#34;, not Go's \".
 		fmt.Fprintf(&b,
-			"<article class=\"post\" data-id=%q data-author=%q data-board=%q data-time=%q>\n%s\n</article>\n",
-			p.ID, p.Author, p.Board, p.PostedAt.Format(time.RFC3339),
-			html.EscapeString(p.Body))
+			"<article class=\"post\" data-id=\"%s\" data-author=\"%s\" data-board=\"%s\" data-time=\"%s\">\n%s\n</article>\n",
+			html.EscapeString(p.ID), html.EscapeString(p.Author), html.EscapeString(p.Board),
+			p.PostedAt.Format(time.RFC3339), html.EscapeString(p.Body))
 	}
 	if page < last {
-		fmt.Fprintf(&b, "<a class=\"next\" href=\"/thread/%s?page=%d\">next</a>\n", thread, page+1)
+		fmt.Fprintf(&b, "<a class=\"next\" href=\"/thread/%s?page=%d\">next</a>\n", url.PathEscape(thread), page+1)
 	}
 	b.WriteString("</body></html>\n")
-	writeHTML(w, b.String())
+	s.writeHTML(w, r, b.String())
 }
 
-func writeHTML(w http.ResponseWriter, body string) {
+// writeHTML delivers the rendered page, possibly stalled or truncated.
+func (s *Server) writeHTML(w http.ResponseWriter, r *http.Request, body string) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if s.opts.TruncateRate > 0 && s.roll() < s.opts.TruncateRate {
+		// Promise the full body, deliver half, and bail: net/http tears the
+		// connection down and the client reads an unexpected EOF.
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		_, _ = w.Write([]byte(body[:len(body)/2]))
+		return
+	}
+	if s.opts.StallRate > 0 && s.roll() < s.opts.StallRate {
+		_, _ = w.Write([]byte(body[:len(body)/2]))
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		select {
+		case <-time.After(s.opts.StallFor):
+		case <-r.Context().Done():
+			return
+		}
+		_, _ = w.Write([]byte(body[len(body)/2:]))
+		return
+	}
 	_, _ = w.Write([]byte(body))
 }
 

@@ -4,6 +4,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"testing"
 	"time"
@@ -137,6 +138,132 @@ func TestServerFailureInjection(t *testing.T) {
 	defer ts.Close()
 	if code, _ := get(t, ts, "/"); code != http.StatusServiceUnavailable {
 		t.Errorf("failure rate 1 must 503, got %d", code)
+	}
+}
+
+func TestServerEscapesHostileIDs(t *testing.T) {
+	d := NewDataset(t)
+	ts := httptest.NewServer(NewServer("hostile", d, Options{}).Handler())
+	defer ts.Close()
+
+	_, index := get(t, ts, "/")
+	if !strings.Contains(index, `href="/board/spaced%20board"`) {
+		t.Error("space not path-escaped in board href")
+	}
+	if !strings.Contains(index, `href="/board/sla%2Fsh"`) {
+		t.Error("slash not path-escaped in board href")
+	}
+	if strings.Contains(index, `href="/board/quo"te"`) {
+		t.Error(`raw '"' leaked into an href attribute`)
+	}
+
+	// Every hostile board serves its listing at the escaped URL, and the
+	// thread under it serves its posts.
+	for _, board := range []string{"spaced board", "sla/sh", `quo"te`, "q?mark", "a&b", "50%off", "uni↯code"} {
+		code, body := get(t, ts, "/board/"+url.PathEscape(board))
+		if code != http.StatusOK {
+			t.Errorf("board %q: status %d", board, code)
+			continue
+		}
+		thread := board + "!thread"
+		if !strings.Contains(body, `href="/thread/`+url.PathEscape(thread)+`"`) {
+			t.Errorf("board %q: listing missing escaped thread href", board)
+		}
+		code, page := get(t, ts, "/thread/"+url.PathEscape(thread))
+		if code != http.StatusOK || !strings.Contains(page, "<article") {
+			t.Errorf("thread %q: status %d, article missing", thread, code)
+		}
+	}
+}
+
+// NewDataset builds a dataset whose board and thread ids hold every byte
+// class that breaks naive URL handling.
+func NewDataset(t *testing.T) *forum.Dataset {
+	t.Helper()
+	d := forum.NewDataset("hostile", forum.PlatformSynthetic)
+	t0 := time.Date(2017, 5, 1, 10, 0, 0, 0, time.UTC)
+	var msgs []forum.Message
+	for i, board := range []string{"spaced board", "sla/sh", `quo"te`, "q?mark", "a&b", "50%off", "uni↯code"} {
+		msgs = append(msgs, forum.Message{
+			ID: "h" + itoa(i), Author: "eve", Board: board, Thread: board + "!thread",
+			Body: "post on " + board, PostedAt: t0.Add(time.Duration(i) * time.Hour),
+		})
+	}
+	d.Add(forum.Alias{Name: "eve", Messages: msgs})
+	return d
+}
+
+func TestServerRetryAfter(t *testing.T) {
+	srv := NewServer("busy", testDataset(), Options{RetryAfterRate: 1, RetryAfter: 1500 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Errorf("Retry-After = %q, want %q (1500ms rounds up)", ra, "2")
+	}
+}
+
+func TestServerTruncatesBodies(t *testing.T) {
+	srv := NewServer("torn", testDataset(), Options{TruncateRate: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.ReadAll(resp.Body); err == nil {
+		t.Error("truncated response must surface a read error")
+	}
+}
+
+func TestServerStallsResponses(t *testing.T) {
+	srv := NewServer("slow", testDataset(), Options{StallRate: 1, StallFor: 80 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A patient client eventually reads the whole page.
+	start := time.Now()
+	code, body := get(t, ts, "/")
+	if code != http.StatusOK || !strings.Contains(body, "</html>") {
+		t.Errorf("stalled page incomplete: status %d", code)
+	}
+	if time.Since(start) < 70*time.Millisecond {
+		t.Error("response did not stall")
+	}
+
+	// An impatient one times out mid-body.
+	client := &http.Client{Timeout: 20 * time.Millisecond}
+	resp, err := client.Get(ts.URL + "/")
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Error("client with a short deadline must fail on a stalled response")
+	}
+}
+
+func TestServerFailFirstN(t *testing.T) {
+	srv := NewServer("flaky-pages", testDataset(), Options{FailFirstN: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for i, want := range []int{503, 503, 200} {
+		if code, _ := get(t, ts, "/thread/big-thread"); code != want {
+			t.Errorf("request %d: status %d, want %d", i, code, want)
+		}
+	}
+	// Distinct pages of the same thread count separately.
+	if code, _ := get(t, ts, "/thread/big-thread?page=1"); code != http.StatusServiceUnavailable {
+		t.Errorf("page 1 first hit: status %d, want 503", code)
 	}
 }
 

@@ -1,0 +1,71 @@
+package forum
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// A scrape checkpoint is a JSONL journal of completed crawl units: one
+// ThreadRecord per line, appended as each thread finishes. A crawl killed
+// mid-run re-reads the journal and skips every thread already recorded,
+// so interrupted collection resumes without refetching. The format is
+// append-only on purpose — a kill can at worst truncate the final line,
+// which ReadCheckpoint tolerates by dropping it.
+
+// ThreadRecord is one fully collected thread in a scrape checkpoint.
+type ThreadRecord struct {
+	// Thread is the thread id as discovered in the board listing.
+	Thread string `json:"thread"`
+	// Messages are the thread's posts in page order.
+	Messages []Message `json:"messages"`
+}
+
+// WriteThreadRecord appends one record to the journal as a single JSONL
+// line. Callers serialise concurrent appends themselves.
+func WriteThreadRecord(w io.Writer, rec *ThreadRecord) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(rec); err != nil {
+		return fmt.Errorf("forum: checkpoint thread %q: %w", rec.Thread, err)
+	}
+	return nil
+}
+
+// ReadCheckpoint reads a checkpoint journal back into records, in journal
+// order. A malformed final line — the signature of a crawl killed in the
+// middle of an append — is dropped silently; a malformed line anywhere
+// else is a real corruption and errors. Later records win when a thread
+// appears twice.
+func ReadCheckpoint(r io.Reader) ([]ThreadRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24) // a record holds a whole thread
+	var recs []ThreadRecord
+	badLine := 0 // most recent undecodable line, 1-based
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec ThreadRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			if badLine != 0 {
+				return nil, fmt.Errorf("forum: checkpoint line %d: corrupt record", badLine)
+			}
+			badLine = line
+			continue
+		}
+		if badLine != 0 {
+			// A decodable record after a bad line means the bad line was
+			// not a truncated tail.
+			return nil, fmt.Errorf("forum: checkpoint line %d: corrupt record", badLine)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("forum: checkpoint scan: %w", err)
+	}
+	return recs, nil
+}

@@ -1,0 +1,91 @@
+package forum
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func checkpointFixture() []ThreadRecord {
+	ts := time.Date(2017, 6, 1, 8, 0, 0, 0, time.UTC)
+	return []ThreadRecord{
+		{Thread: "t0", Messages: []Message{
+			{ID: "a1", Author: "ann", Board: "garden", Thread: "t0", Body: "hello", PostedAt: ts},
+			{ID: "a2", Author: "ben", Board: "garden", Thread: "t0", Body: "hi back", PostedAt: ts.Add(time.Hour)},
+		}},
+		{Thread: "t1", Messages: []Message{
+			{ID: "a3", Author: "ann", Board: "garden", Thread: "t1", Body: "elsewhere", PostedAt: ts},
+		}},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := checkpointFixture()
+	for i := range want {
+		if err := WriteThreadRecord(&buf, &want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("records = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Thread != want[i].Thread {
+			t.Errorf("record %d thread = %q, want %q", i, got[i].Thread, want[i].Thread)
+		}
+		if len(got[i].Messages) != len(want[i].Messages) {
+			t.Fatalf("record %d has %d messages, want %d", i, len(got[i].Messages), len(want[i].Messages))
+		}
+		for j, m := range want[i].Messages {
+			g := got[i].Messages[j]
+			if g.ID != m.ID || g.Author != m.Author || g.Body != m.Body || !g.PostedAt.Equal(m.PostedAt) {
+				t.Errorf("record %d message %d = %+v, want %+v", i, j, g, m)
+			}
+		}
+	}
+}
+
+func TestCheckpointToleratesTruncatedTail(t *testing.T) {
+	var buf bytes.Buffer
+	recs := checkpointFixture()
+	for i := range recs {
+		if err := WriteThreadRecord(&buf, &recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A crawl killed mid-append leaves a torn final line.
+	truncated := buf.String()[:buf.Len()-25]
+	got, err := ReadCheckpoint(strings.NewReader(truncated))
+	if err != nil {
+		t.Fatalf("truncated tail must be tolerated, got %v", err)
+	}
+	if len(got) != 1 || got[0].Thread != "t0" {
+		t.Errorf("got %d records, want just the intact t0", len(got))
+	}
+}
+
+func TestCheckpointRejectsCorruptMiddle(t *testing.T) {
+	journal := `{"thread":"t0","messages":[]}` + "\n" +
+		`{"thread":"t1","mes` + "\n" + // corrupt, but not the tail
+		`{"thread":"t2","messages":[]}` + "\n"
+	if _, err := ReadCheckpoint(strings.NewReader(journal)); err == nil {
+		t.Fatal("corruption before the tail must error")
+	}
+}
+
+func TestCheckpointEmptyAndBlankLines(t *testing.T) {
+	got, err := ReadCheckpoint(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty journal: %v, %d records", err, len(got))
+	}
+	got, err = ReadCheckpoint(strings.NewReader("\n\n" + `{"thread":"t0","messages":[]}` + "\n\n"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("blank lines must be skipped: %v, %d records", err, len(got))
+	}
+}

@@ -1,0 +1,74 @@
+package scraper
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"darklight/internal/forum"
+)
+
+// openCheckpoint loads the journal named by Options.CheckpointPath (empty
+// map when unset or not yet created) and opens it for appending. The
+// returned close function is safe to call unconditionally.
+func (s *Scraper) openCheckpoint() (map[string][]forum.Message, func(), error) {
+	if s.opts.CheckpointPath == "" {
+		return nil, func() {}, nil
+	}
+	done := make(map[string][]forum.Message)
+	raw, err := os.ReadFile(s.opts.CheckpointPath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, func() {}, fmt.Errorf("scraper: checkpoint %s: %w", s.opts.CheckpointPath, err)
+	}
+	var recs []forum.ThreadRecord
+	if err == nil {
+		recs, err = forum.ReadCheckpoint(bytes.NewReader(raw))
+		if err != nil {
+			return nil, func() {}, fmt.Errorf("scraper: checkpoint %s: %w", s.opts.CheckpointPath, err)
+		}
+		for _, rec := range recs {
+			done[rec.Thread] = rec.Messages
+		}
+	}
+	// Rewrite the journal as exactly the records just accepted before
+	// appending: a kill mid-append leaves a torn final line, and appending
+	// straight after it would fuse the tear with the next record into
+	// mid-file corruption a future resume must reject.
+	var clean bytes.Buffer
+	for i := range recs {
+		if err := forum.WriteThreadRecord(&clean, &recs[i]); err != nil {
+			return nil, func() {}, err
+		}
+	}
+	if err := os.WriteFile(s.opts.CheckpointPath, clean.Bytes(), 0o644); err != nil {
+		return nil, func() {}, fmt.Errorf("scraper: checkpoint %s: %w", s.opts.CheckpointPath, err)
+	}
+	f, err := os.OpenFile(s.opts.CheckpointPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, func() {}, fmt.Errorf("scraper: checkpoint %s: %w", s.opts.CheckpointPath, err)
+	}
+	s.mu.Lock()
+	s.ckpt = f
+	s.mu.Unlock()
+	return done, func() {
+		s.mu.Lock()
+		s.ckpt = nil
+		s.mu.Unlock()
+		f.Close()
+	}, nil
+}
+
+// appendCheckpoint journals one completed thread. Append failures are
+// reported via logf but never fail the crawl — the checkpoint is an
+// optimisation, not a correctness requirement.
+func (s *Scraper) appendCheckpoint(thread string, posts []forum.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ckpt == nil {
+		return
+	}
+	rec := forum.ThreadRecord{Thread: thread, Messages: posts}
+	if err := forum.WriteThreadRecord(s.ckpt, &rec); err != nil {
+		s.logf("checkpoint append failed for thread %q: %v", thread, err)
+	}
+}

@@ -1,0 +1,446 @@
+package scraper
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"darklight"
+	"darklight/internal/darkweb"
+	"darklight/internal/forum"
+)
+
+// countingServer answers every request with the given status (and
+// optional headers) and counts hits.
+func countingServer(t *testing.T, status int, header http.Header, okAfter int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := hits.Add(1)
+		if okAfter > 0 && int(n) > okAfter {
+			w.Write([]byte("<html></html>"))
+			return
+		}
+		for k, vs := range header {
+			for _, v := range vs {
+				w.Header().Set(k, v)
+			}
+		}
+		http.Error(w, "no", status)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func TestFetchPermanentFailureCostsOneRequest(t *testing.T) {
+	for _, status := range []int{http.StatusNotFound, http.StatusForbidden, http.StatusGone} {
+		ts, hits := countingServer(t, status, nil, 0)
+		sc := New(ts.URL, Options{MaxRetries: 5, BackoffBase: time.Millisecond})
+		_, err := sc.fetch(context.Background(), ts.URL+"/board/missing")
+		if !errors.Is(err, errPermanent) {
+			t.Errorf("status %d: err = %v, want errPermanent", status, err)
+		}
+		if got := hits.Load(); got != 1 {
+			t.Errorf("status %d burned %d requests, want exactly 1", status, got)
+		}
+		if sc.Stats().Retries != 0 {
+			t.Errorf("status %d: retries = %d, want 0", status, sc.Stats().Retries)
+		}
+	}
+}
+
+func TestFetchRetriesTransientStatuses(t *testing.T) {
+	for _, status := range []int{http.StatusInternalServerError, http.StatusServiceUnavailable, http.StatusRequestTimeout, http.StatusTooManyRequests} {
+		ts, hits := countingServer(t, status, nil, 0)
+		sc := New(ts.URL, Options{MaxRetries: 3, BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond})
+		_, err := sc.fetch(context.Background(), ts.URL+"/")
+		if !errors.Is(err, errGiveUp) {
+			t.Errorf("status %d: err = %v, want errGiveUp", status, err)
+		}
+		if got := hits.Load(); got != 4 { // 1 attempt + 3 retries
+			t.Errorf("status %d: requests = %d, want 4", status, got)
+		}
+	}
+}
+
+func TestFetchRecoversAfterTransientFailures(t *testing.T) {
+	ts, hits := countingServer(t, http.StatusBadGateway, nil, 2)
+	sc := New(ts.URL, Options{MaxRetries: 5, BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond})
+	if _, err := sc.fetch(context.Background(), ts.URL+"/"); err != nil {
+		t.Fatalf("fetch after transient failures: %v", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("requests = %d, want 3", got)
+	}
+}
+
+func TestFetchHonoursRetryAfter(t *testing.T) {
+	hdr := http.Header{"Retry-After": []string{"1"}}
+	ts, _ := countingServer(t, http.StatusTooManyRequests, hdr, 1)
+	sc := New(ts.URL, Options{MaxRetries: 2, BackoffBase: time.Millisecond, BackoffMax: 5 * time.Second})
+	start := time.Now()
+	if _, err := sc.fetch(context.Background(), ts.URL+"/"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Errorf("Retry-After: 1 ignored, fetch took only %v", elapsed)
+	}
+}
+
+func TestFetchCapsRetryAfterAtBackoffMax(t *testing.T) {
+	hdr := http.Header{"Retry-After": []string{"30"}}
+	ts, _ := countingServer(t, http.StatusServiceUnavailable, hdr, 1)
+	sc := New(ts.URL, Options{MaxRetries: 2, BackoffBase: time.Millisecond, BackoffMax: 20 * time.Millisecond})
+	start := time.Now()
+	if _, err := sc.fetch(context.Background(), ts.URL+"/"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("Retry-After wish not capped at BackoffMax, fetch took %v", elapsed)
+	}
+}
+
+func TestBackoffCappedAndOverflowSafe(t *testing.T) {
+	sc := New("http://x", Options{BackoffBase: 100 * time.Millisecond, BackoffMax: time.Second})
+	for _, attempt := range []int{0, 5, 31, 40, 200} {
+		d := sc.backoff(attempt, nil)
+		if d <= 0 || d > time.Second {
+			t.Errorf("backoff(attempt=%d) = %v, want in (0, 1s]", attempt, d)
+		}
+	}
+	// Server-directed delays are exact (no jitter) but capped.
+	if d := sc.backoff(0, &statusError{code: 429, retryAfter: 700 * time.Millisecond}); d != 700*time.Millisecond {
+		t.Errorf("retry-after delay = %v, want 700ms", d)
+	}
+	if d := sc.backoff(0, &statusError{code: 503, retryAfter: time.Hour}); d != time.Second {
+		t.Errorf("huge retry-after = %v, want the 1s cap", d)
+	}
+}
+
+func TestZeroRetriesIsExpressible(t *testing.T) {
+	if got := (Options{MaxRetries: NoRetries}).withDefaults().MaxRetries; got != 0 {
+		t.Fatalf("MaxRetries = %d, want 0", got)
+	}
+	if got := (Options{}).withDefaults().MaxRetries; got != 4 {
+		t.Fatalf("default MaxRetries = %d, want 4", got)
+	}
+	ts, hits := countingServer(t, http.StatusServiceUnavailable, nil, 0)
+	sc := New(ts.URL, Options{MaxRetries: NoRetries, BackoffBase: time.Millisecond})
+	if _, err := sc.fetch(context.Background(), ts.URL+"/"); !errors.Is(err, errGiveUp) {
+		t.Errorf("err = %v, want errGiveUp", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("NoRetries made %d requests, want exactly 1", got)
+	}
+}
+
+// hostileDataset exercises every byte class that breaks naive URL
+// handling in board and thread ids.
+func hostileDataset() *forum.Dataset {
+	d := forum.NewDataset("hostile", forum.PlatformSynthetic)
+	t0 := time.Date(2017, 5, 1, 10, 0, 0, 0, time.UTC)
+	var msgs []forum.Message
+	for i, board := range []string{"spaced board", "sla/sh", `quo"te`, "q?mark", "a&b", "50%off", "uni↯code"} {
+		msgs = append(msgs, forum.Message{
+			ID: "h" + string(rune('a'+i)), Author: "eve", Board: board, Thread: board + "!thread",
+			Body: "post on " + board, PostedAt: t0.Add(time.Duration(i) * time.Hour),
+		})
+	}
+	d.Add(forum.Alias{Name: "eve", Messages: msgs})
+	return d
+}
+
+func TestScrapeHostileNamesRoundTrip(t *testing.T) {
+	original := hostileDataset()
+	ts := serveDataset(t, original, darkweb.Options{})
+	sc := New(ts.URL, Options{})
+	got, err := sc.Scrape(context.Background(), "hostile", forum.PlatformSynthetic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := sc.Errors(); len(errs) != 0 {
+		t.Fatalf("crawl errors: %v", errs)
+	}
+	eve, err := got.Find("eve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := original.Find("eve")
+	if len(eve.Messages) != len(orig.Messages) {
+		t.Fatalf("messages = %d, want %d", len(eve.Messages), len(orig.Messages))
+	}
+	byID := make(map[string]forum.Message)
+	for _, m := range eve.Messages {
+		byID[m.ID] = m
+	}
+	for _, want := range orig.Messages {
+		m, ok := byID[want.ID]
+		if !ok {
+			t.Errorf("message %s lost in round trip", want.ID)
+			continue
+		}
+		if m.Board != want.Board || m.Thread != want.Thread || m.Body != want.Body {
+			t.Errorf("message %s = board %q thread %q body %q, want %q %q %q",
+				want.ID, m.Board, m.Thread, m.Body, want.Board, want.Thread, want.Body)
+		}
+	}
+}
+
+func TestScrapeDegradesOnBrokenThread(t *testing.T) {
+	original := sampleDataset() // threads t0, t1, t2 on board garden
+	srv := darkweb.NewServer(original.Name, original, darkweb.Options{})
+	inner := srv.Handler()
+	poisoned := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/thread/t1" {
+			http.NotFound(w, r)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(poisoned)
+	t.Cleanup(ts.Close)
+
+	sc := New(ts.URL, Options{MaxRetries: 5, BackoffBase: time.Millisecond})
+	got, err := sc.Scrape(context.Background(), "partial", forum.PlatformTheMajesticGarden)
+	if err != nil {
+		t.Fatalf("one broken thread must not abort the crawl: %v", err)
+	}
+	errs := sc.Errors()
+	if len(errs) != 1 || errs[0].Thread != "t1" || !errors.Is(errs[0].Err, errPermanent) {
+		t.Fatalf("error summary = %v, want one permanent failure for t1", errs)
+	}
+	if st := sc.Stats(); st.Failed != 1 {
+		t.Errorf("Stats.Failed = %d, want 1", st.Failed)
+	}
+	for i := range got.Aliases {
+		for _, m := range got.Aliases[i].Messages {
+			if m.Thread == "t1" {
+				t.Fatal("posts from the broken thread leaked into the dataset")
+			}
+		}
+	}
+	wantPosts := 0
+	for i := range original.Aliases {
+		for _, m := range original.Aliases[i].Messages {
+			if m.Thread != "t1" {
+				wantPosts++
+			}
+		}
+	}
+	if got.TotalMessages() != wantPosts {
+		t.Errorf("partial dataset has %d posts, want %d (everything outside t1)", got.TotalMessages(), wantPosts)
+	}
+}
+
+func TestScrapeStalledResponsesTimeOut(t *testing.T) {
+	ts := serveDataset(t, sampleDataset(), darkweb.Options{StallRate: 1, StallFor: 300 * time.Millisecond})
+	sc := New(ts.URL, Options{
+		MaxRetries:  2,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  5 * time.Millisecond,
+		Client:      &http.Client{Timeout: 30 * time.Millisecond},
+	})
+	_, err := sc.Scrape(context.Background(), "x", forum.PlatformSynthetic)
+	if !errors.Is(err, errGiveUp) {
+		t.Fatalf("stalled index must exhaust retries, got %v", err)
+	}
+	if sc.Stats().Retries != 2 {
+		t.Errorf("retries = %d, want 2", sc.Stats().Retries)
+	}
+}
+
+// messageKey flattens everything a message must preserve byte-for-byte
+// across the serve→scrape round trip.
+func messageKey(m forum.Message) [4]string {
+	return [4]string{m.Author, m.Body, m.PostedAt.Format(time.RFC3339), m.Board}
+}
+
+// TestScrapeChaosRoundTrip is the §III-B property test: a synth-generated
+// dataset served with every fault mode enabled scrapes back identical —
+// same aliases, same message bytes — over a concurrent worker pool. CI
+// runs this under -race.
+func TestScrapeChaosRoundTrip(t *testing.T) {
+	world, err := darklight.GenerateWorld(darklight.WorldConfig{Seed: 3, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	original := world.DM
+	ts := serveDataset(t, original, darkweb.Options{
+		FailureRate:    0.08,
+		RetryAfterRate: 0.04,
+		RetryAfter:     time.Second, // scraper caps the wait at BackoffMax
+		TruncateRate:   0.05,
+		FailFirstN:     1,
+		Seed:           7,
+	})
+	sc := New(ts.URL, Options{
+		Workers:     8,
+		MaxRetries:  12,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  10 * time.Millisecond,
+	})
+	got, err := sc.Scrape(context.Background(), original.Name, original.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := sc.Errors(); len(errs) != 0 {
+		t.Fatalf("chaos crawl gave up on %d units: %v", len(errs), errs)
+	}
+	if got.Len() != original.Len() {
+		t.Fatalf("aliases = %d, want %d", got.Len(), original.Len())
+	}
+	if got.TotalMessages() != original.TotalMessages() {
+		t.Fatalf("messages = %d, want %d", got.TotalMessages(), original.TotalMessages())
+	}
+	wantByID := make(map[string]forum.Message, original.TotalMessages())
+	for i := range original.Aliases {
+		for _, m := range original.Aliases[i].Messages {
+			wantByID[m.ID] = m
+		}
+	}
+	for i := range got.Aliases {
+		for _, m := range got.Aliases[i].Messages {
+			want, ok := wantByID[m.ID]
+			if !ok {
+				t.Fatalf("scraped message %s not in original", m.ID)
+			}
+			if messageKey(m) != messageKey(want) {
+				t.Fatalf("message %s mutated in round trip:\ngot  %v\nwant %v", m.ID, messageKey(m), messageKey(want))
+			}
+		}
+	}
+	if sc.Stats().Retries == 0 {
+		t.Error("chaos crawl reported zero retries — fault injection did not engage")
+	}
+}
+
+// TestScrapeResumesFromCheckpoint is the acceptance test: a crawl killed
+// mid-run by context cancellation resumes from its checkpoint journal and
+// produces a dataset identical to an uninterrupted crawl of the same
+// chaos-mode server.
+func TestScrapeResumesFromCheckpoint(t *testing.T) {
+	original := sampleDataset()
+	chaos := darkweb.Options{FailureRate: 0.2, Seed: 5, Latency: 2 * time.Millisecond}
+	ts := serveDataset(t, original, chaos)
+	ckpt := filepath.Join(t.TempDir(), "crawl.jsonl")
+
+	newScraper := func(path string) *Scraper {
+		return New(ts.URL, Options{
+			Workers:        2,
+			MaxRetries:     10,
+			BackoffBase:    time.Millisecond,
+			BackoffMax:     5 * time.Millisecond,
+			CheckpointPath: path,
+		})
+	}
+
+	// Reference: an uninterrupted crawl (no checkpoint).
+	ref := New(ts.URL, Options{Workers: 2, MaxRetries: 10, BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond})
+	want, err := ref.Scrape(context.Background(), "scraped", forum.PlatformTheMajesticGarden)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First crawl: kill it as soon as the journal holds one thread.
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	first := newScraper(ckpt)
+	go func() {
+		_, err := first.Scrape(ctx, "scraped", forum.PlatformTheMajesticGarden)
+		errc <- err
+	}()
+	var firstErr error
+	var sawRecord bool
+poll:
+	for {
+		select {
+		case firstErr = <-errc:
+			break poll
+		case <-time.After(time.Millisecond):
+			if raw, err := os.ReadFile(ckpt); err == nil {
+				if recs, err := forum.ReadCheckpoint(strings.NewReader(string(raw))); err == nil && len(recs) > 0 {
+					sawRecord = true
+					cancel()
+					firstErr = <-errc
+					break poll
+				}
+			}
+		}
+	}
+	cancel()
+
+	if sawRecord && !errors.Is(firstErr, context.Canceled) {
+		t.Fatalf("killed crawl returned %v, want context.Canceled", firstErr)
+	}
+
+	// Resume: a fresh scraper on the same journal completes the crawl.
+	second := newScraper(ckpt)
+	got, err := second.Scrape(context.Background(), "scraped", forum.PlatformTheMajesticGarden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed dataset differs from uninterrupted crawl:\ngot  %d aliases / %d posts\nwant %d aliases / %d posts",
+			got.Len(), got.TotalMessages(), want.Len(), want.TotalMessages())
+	}
+	if sawRecord {
+		st, refSt := second.Stats(), ref.Stats()
+		if st.Resumed == 0 {
+			t.Error("resumed crawl refetched every thread — checkpoint ignored")
+		}
+		// Compare first attempts (Requests net of chaos retries): the
+		// resumed crawl must fetch exactly Resumed fewer pages. Every
+		// sample thread is a single page, so pages saved == threads saved.
+		gotAttempts, refAttempts := st.Requests-st.Retries, refSt.Requests-refSt.Retries
+		if gotAttempts != refAttempts-st.Resumed {
+			t.Errorf("resume fetched %d pages, full crawl %d with %d threads resumed — checkpoint saved nothing",
+				gotAttempts, refAttempts, st.Resumed)
+		}
+	}
+}
+
+func TestScrapeResumeToleratesTornJournal(t *testing.T) {
+	original := sampleDataset()
+	ts := serveDataset(t, original, darkweb.Options{})
+	ckpt := filepath.Join(t.TempDir(), "crawl.jsonl")
+
+	// Build a journal with one intact record, then tear its tail the way
+	// a kill mid-append would.
+	full := New(ts.URL, Options{CheckpointPath: ckpt})
+	want, err := full.Scrape(context.Background(), "scraped", forum.PlatformTheMajesticGarden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("journal has %d records, need ≥ 2", len(lines))
+	}
+	torn := lines[0] + lines[1][:len(lines[1])/2]
+	if err := os.WriteFile(ckpt, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := New(ts.URL, Options{CheckpointPath: ckpt})
+	got, err := sc.Scrape(context.Background(), "scraped", forum.PlatformTheMajesticGarden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("crawl resumed from a torn journal diverged")
+	}
+	if st := sc.Stats(); st.Resumed != 1 {
+		t.Errorf("Resumed = %d, want 1 (the intact record)", st.Resumed)
+	}
+}

@@ -1,0 +1,45 @@
+package scraper
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePosts feeds arbitrary markup through the thread-page parser.
+// The parser faces whatever a hostile or half-collapsed hidden service
+// returns, so it must never panic, must reject malformed pages with an
+// error rather than garbage, and for any page it accepts every post must
+// carry an author and parse deterministically.
+func FuzzParsePosts(f *testing.F) {
+	f.Add(`<html><body>
+<article class="post" data-id="p1" data-author="zoe" data-board="b" data-time="2017-03-01T10:00:00Z">
+hello &amp; goodbye &lt;3
+</article>
+</body></html>`)
+	f.Add(`<article class="post" data-author="x" data-time="garbage">b</article>`)
+	f.Add(`<article class="post" data-author="x">never closed`)
+	f.Add(`<article data-author="">no author</article>`)
+	f.Add(`<article <article ></article></article>`)
+	f.Add(`<a class="next" href="/thread/t?page=1">next</a>`)
+	f.Add("<article \x00 data-author=\"n\">\xff\xfe</article>")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, page string) {
+		posts, err := ParsePosts(page)
+		if err != nil {
+			return // malformed markup may be rejected, just never panic
+		}
+		if len(posts) > strings.Count(page, "<article") {
+			t.Fatalf("%d posts from %d article tags", len(posts), strings.Count(page, "<article"))
+		}
+		for _, p := range posts {
+			if p.Author == "" {
+				t.Fatal("accepted a post without an author")
+			}
+		}
+		again, err := ParsePosts(page)
+		if err != nil || len(again) != len(posts) {
+			t.Fatalf("reparse diverged: %d posts then %d (err %v)", len(posts), len(again), err)
+		}
+	})
+}

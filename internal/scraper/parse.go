@@ -36,6 +36,12 @@ func extractHrefs(page, class string) []string {
 	}
 }
 
+// rawAttr is attrValue for callers that treat a missing attribute as "".
+func rawAttr(tag, attr string) string {
+	v, _ := attrValue(tag, attr)
+	return v
+}
+
 // attrValue extracts attr="value" from a tag string.
 func attrValue(tag, attr string) (string, bool) {
 	needle := attr + `="`
@@ -70,12 +76,17 @@ func ParsePosts(page string) ([]forum.Message, error) {
 		if close < 0 {
 			return posts, fmt.Errorf("scraper: unterminated article body")
 		}
-		body := strings.TrimSpace(rest[bodyStart : bodyStart+close])
+		// The server frames the body as "\n%s\n"; strip exactly that frame
+		// so bodies with their own edge whitespace survive byte-for-byte.
+		body := strings.TrimPrefix(rest[bodyStart:bodyStart+close], "\n")
+		body = strings.TrimSuffix(body, "\n")
 
+		// Attribute values arrive entity-escaped (a quote in an id or
+		// author would otherwise terminate the attribute).
 		var m forum.Message
-		m.ID, _ = attrValue(tag, "data-id")
-		m.Author, _ = attrValue(tag, "data-author")
-		m.Board, _ = attrValue(tag, "data-board")
+		m.ID = htmlUnescape(rawAttr(tag, "data-id"))
+		m.Author = htmlUnescape(rawAttr(tag, "data-author"))
+		m.Board = htmlUnescape(rawAttr(tag, "data-board"))
 		if ts, ok := attrValue(tag, "data-time"); ok {
 			t, err := time.Parse(time.RFC3339, ts)
 			if err != nil {

@@ -1,8 +1,13 @@
 // Package scraper crawls a darkweb-style forum into a dataset. It is the
 // data-collection stage of the paper (§III-B): board index → thread
 // listings → paginated posts, with the defensive behaviours scraping a
-// hidden service demands — polite rate limiting, bounded retries with
-// exponential backoff, and context cancellation.
+// hidden service demands — threads fan out over a bounded worker pool
+// that shares one politeness rate limiter, transient failures (5xx,
+// timeouts, torn connections, 429/503 with Retry-After) retry with
+// capped jittered backoff while permanent ones (other 4xx) fail fast,
+// completed threads are journaled to a JSONL checkpoint so an
+// interrupted crawl resumes without refetching, and a thread that stays
+// broken is reported in the error summary instead of aborting the crawl.
 package scraper
 
 import (
@@ -10,28 +15,47 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"darklight/internal/forum"
 )
 
+// NoRetries configures Options.MaxRetries for zero retry attempts (the
+// zero value of MaxRetries selects the default instead).
+const NoRetries = -1
+
 // Options configure a crawl.
 type Options struct {
 	// RequestInterval is the minimum delay between requests (politeness).
+	// The interval is global: all workers share one rate limiter.
 	RequestInterval time.Duration
-	// MaxRetries bounds retry attempts per page (default 4).
+	// MaxRetries bounds retry attempts per page (default 4). Any negative
+	// value — use NoRetries — disables retries entirely.
 	MaxRetries int
-	// BackoffBase is the initial retry delay, doubled per attempt
-	// (default 100ms).
+	// BackoffBase is the initial retry delay, doubled per attempt with
+	// ±50% jitter (default 100ms).
 	BackoffBase time.Duration
+	// BackoffMax caps any single retry delay, including delays requested
+	// by a Retry-After header (default 10s).
+	BackoffMax time.Duration
+	// Workers is the number of threads crawled concurrently (default 4).
+	Workers int
 	// MaxPagesPerThread bounds deep threads (0 = unlimited).
 	MaxPagesPerThread int
 	// Boards restricts the crawl to the listed boards (nil = all).
 	Boards []string
+	// CheckpointPath, when set, names a JSONL journal of completed
+	// threads. A crawl finding an existing journal skips every thread
+	// recorded in it and splices the journaled posts into the result, so
+	// an interrupted crawl resumes where it stopped.
+	CheckpointPath string
 	// Client overrides the HTTP client (default http.DefaultClient with a
 	// 30 s timeout).
 	Client *http.Client
@@ -40,11 +64,20 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.MaxRetries == 0 {
+	switch {
+	case o.MaxRetries == 0:
 		o.MaxRetries = 4
+	case o.MaxRetries < 0:
+		o.MaxRetries = 0
 	}
 	if o.BackoffBase == 0 {
 		o.BackoffBase = 100 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 10 * time.Second
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
 	}
 	if o.Client == nil {
 		o.Client = &http.Client{Timeout: 30 * time.Second}
@@ -59,26 +92,95 @@ type Stats struct {
 	Boards   int
 	Threads  int
 	Posts    int
+	// Resumed counts threads restored from the checkpoint journal
+	// instead of being fetched.
+	Resumed int
+	// Failed counts crawl units (boards or threads) abandoned after the
+	// retry policy gave up; see Scraper.Errors.
+	Failed int
 }
 
-// Scraper crawls one forum base URL.
+// CrawlError records one crawl unit that was abandoned after the retry
+// policy gave up. Exactly one of Board/Thread is set: Board for a board
+// whose thread listing could not be fetched, Thread for a thread whose
+// pages could not.
+type CrawlError struct {
+	Board  string
+	Thread string
+	Err    error
+}
+
+func (e CrawlError) String() string {
+	if e.Board != "" {
+		return fmt.Sprintf("board %q: %v", e.Board, e.Err)
+	}
+	return fmt.Sprintf("thread %q: %v", e.Thread, e.Err)
+}
+
+// Scraper crawls one forum base URL. The exported methods are safe for
+// concurrent use by the crawl workers; run one Scrape at a time.
 type Scraper struct {
-	base  string
-	opts  Options
+	base string
+	opts Options
+
+	mu    sync.Mutex // guards stats, last, rng, errs, and checkpoint appends
 	stats Stats
 	last  time.Time
+	rng   *rand.Rand
+	errs  []CrawlError
+	ckpt  io.Writer // open journal during Scrape, nil otherwise
 }
 
 // New returns a scraper for the forum at base (e.g. "http://127.0.0.1:8989").
 func New(base string, opts Options) *Scraper {
-	return &Scraper{base: strings.TrimRight(base, "/"), opts: opts.withDefaults()}
+	return &Scraper{
+		base: strings.TrimRight(base, "/"),
+		opts: opts.withDefaults(),
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
 }
 
 // Stats returns crawl statistics (valid after Scrape).
-func (s *Scraper) Stats() Stats { return s.stats }
+func (s *Scraper) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
 
-// Scrape crawls the whole forum and groups posts into a dataset.
+// Errors returns the per-unit failure summary of the last Scrape: every
+// board listing or thread the crawl gave up on, sorted for determinism.
+// Empty means the crawl was complete.
+func (s *Scraper) Errors() []CrawlError {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]CrawlError(nil), s.errs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Board != out[j].Board {
+			return out[i].Board < out[j].Board
+		}
+		return out[i].Thread < out[j].Thread
+	})
+	return out
+}
+
+// Scrape crawls the whole forum and groups posts into a dataset. Threads
+// that stay unreachable after retries are skipped and reported via
+// Errors — the partial dataset is still returned. Scrape fails outright
+// only when the board index itself is unreachable or the context is
+// cancelled; a cancelled crawl leaves its checkpoint journal behind for
+// the next run to resume from.
 func (s *Scraper) Scrape(ctx context.Context, name string, platform forum.Platform) (*forum.Dataset, error) {
+	s.mu.Lock()
+	s.stats = Stats{}
+	s.errs = nil
+	s.mu.Unlock()
+
+	done, closeCkpt, err := s.openCheckpoint()
+	if err != nil {
+		return nil, err
+	}
+	defer closeCkpt()
+
 	boards, err := s.boards(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("scraper: board index: %w", err)
@@ -96,28 +198,72 @@ func (s *Scraper) Scrape(ctx context.Context, name string, platform forum.Platfo
 		}
 		boards = filtered
 	}
-	s.stats.Boards = len(boards)
 
-	byAuthor := make(map[string][]forum.Message)
+	// Thread listings, board by board. A board that stays unreachable is
+	// reported and skipped; its sibling boards still crawl.
+	var threads []string
+	seen := make(map[string]bool)
 	for _, board := range boards {
-		threads, err := s.threads(ctx, board)
+		ts, err := s.threads(ctx, board)
 		if err != nil {
-			return nil, fmt.Errorf("scraper: board %q: %w", board, err)
-		}
-		s.stats.Threads += len(threads)
-		s.logf("board %s: %d threads", board, len(threads))
-		for _, thread := range threads {
-			posts, err := s.posts(ctx, thread)
-			if err != nil {
-				return nil, fmt.Errorf("scraper: thread %q: %w", thread, err)
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
 			}
-			for _, p := range posts {
-				byAuthor[p.Author] = append(byAuthor[p.Author], p)
-				s.stats.Posts++
+			s.recordError(CrawlError{Board: board, Err: err})
+			continue
+		}
+		s.logf("board %s: %d threads", board, len(ts))
+		for _, t := range ts {
+			if !seen[t] {
+				seen[t] = true
+				threads = append(threads, t)
 			}
 		}
 	}
+	s.mu.Lock()
+	s.stats.Boards = len(boards)
+	s.stats.Threads = len(threads)
+	s.mu.Unlock()
 
+	// Fan the threads out over the worker pool. byThread is indexed by
+	// the deterministic listing order, so the assembled dataset is
+	// identical whatever order workers finish in — and identical whether
+	// a thread was fetched now or restored from the checkpoint.
+	byThread := make([][]forum.Message, len(threads))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < s.opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				s.crawlThread(ctx, threads[i], done, &byThread[i])
+			}
+		}()
+	}
+feed:
+	for i := range threads {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+
+	byAuthor := make(map[string][]forum.Message)
+	for _, posts := range byThread {
+		for _, p := range posts {
+			byAuthor[p.Author] = append(byAuthor[p.Author], p)
+		}
+		s.mu.Lock()
+		s.stats.Posts += len(posts)
+		s.mu.Unlock()
+	}
 	names := make([]string, 0, len(byAuthor))
 	for a := range byAuthor {
 		names = append(names, a)
@@ -128,6 +274,34 @@ func (s *Scraper) Scrape(ctx context.Context, name string, platform forum.Platfo
 		d.Aliases = append(d.Aliases, forum.Alias{Name: a, Platform: platform, Messages: byAuthor[a]})
 	}
 	return d, nil
+}
+
+// crawlThread fetches one thread (or restores it from the checkpoint)
+// into its result slot. Failures are recorded, never fatal.
+func (s *Scraper) crawlThread(ctx context.Context, thread string, done map[string][]forum.Message, out *[]forum.Message) {
+	if posts, ok := done[thread]; ok {
+		*out = posts
+		s.mu.Lock()
+		s.stats.Resumed++
+		s.mu.Unlock()
+		return
+	}
+	posts, err := s.posts(ctx, thread)
+	if err != nil {
+		if ctx.Err() == nil {
+			s.recordError(CrawlError{Thread: thread, Err: err})
+		}
+		return
+	}
+	*out = posts
+	s.appendCheckpoint(thread, posts)
+}
+
+func (s *Scraper) recordError(ce CrawlError) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.errs = append(s.errs, ce)
+	s.stats.Failed++
 }
 
 func (s *Scraper) logf(format string, args ...any) {
@@ -144,7 +318,12 @@ func (s *Scraper) boards(ctx context.Context) ([]string, error) {
 	}
 	var boards []string
 	for _, href := range extractHrefs(page, "board") {
-		boards = append(boards, strings.TrimPrefix(href, "/board/"))
+		name, err := url.PathUnescape(strings.TrimPrefix(href, "/board/"))
+		if err != nil {
+			s.logf("skipping malformed board href %q: %v", href, err)
+			continue
+		}
+		boards = append(boards, name)
 	}
 	return boards, nil
 }
@@ -159,7 +338,12 @@ func (s *Scraper) threads(ctx context.Context, board string) ([]string, error) {
 			return nil, err
 		}
 		for _, href := range extractHrefs(page, "thread") {
-			threads = append(threads, strings.TrimPrefix(href, "/thread/"))
+			id, err := url.PathUnescape(strings.TrimPrefix(href, "/thread/"))
+			if err != nil {
+				s.logf("skipping malformed thread href %q: %v", href, err)
+				continue
+			}
+			threads = append(threads, id)
 		}
 		next = s.nextURL(page)
 	}
@@ -201,16 +385,38 @@ func (s *Scraper) nextURL(page string) string {
 	return ""
 }
 
-// errGiveUp wraps the last failure after retries are exhausted.
+// errGiveUp wraps the last transient failure after retries are exhausted.
 var errGiveUp = errors.New("scraper: retries exhausted")
 
-// fetch gets one URL with politeness and retries.
+// errPermanent wraps a failure that retrying cannot fix (4xx other than
+// 408/429); it costs exactly one request.
+var errPermanent = errors.New("scraper: permanent failure")
+
+// statusError is a non-200 response, optionally carrying the server's
+// Retry-After wish.
+type statusError struct {
+	code       int
+	retryAfter time.Duration
+}
+
+func (e *statusError) Error() string { return fmt.Sprintf("status %d", e.code) }
+
+// transient reports whether the status is worth retrying: server errors,
+// timeouts, and rate-limit pushback. Every other 4xx is permanent.
+func (e *statusError) transient() bool {
+	return e.code >= 500 || e.code == http.StatusRequestTimeout || e.code == http.StatusTooManyRequests
+}
+
+// fetch gets one URL with politeness and the retry policy: transient
+// failures (5xx, 408, 429, network errors) back off and retry, permanent
+// ones (any other 4xx) fail on the first response.
 func (s *Scraper) fetch(ctx context.Context, rawURL string) (string, error) {
-	var lastErr error
-	for attempt := 0; attempt <= s.opts.MaxRetries; attempt++ {
+	var delay time.Duration
+	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
+			s.mu.Lock()
 			s.stats.Retries++
-			delay := s.opts.BackoffBase << (attempt - 1)
+			s.mu.Unlock()
 			if err := sleepCtx(ctx, delay); err != nil {
 				return "", err
 			}
@@ -222,25 +428,62 @@ func (s *Scraper) fetch(ctx context.Context, rawURL string) (string, error) {
 		if err == nil {
 			return body, nil
 		}
-		lastErr = err
 		if ctx.Err() != nil {
 			return "", ctx.Err()
 		}
+		var se *statusError
+		if errors.As(err, &se) && !se.transient() {
+			return "", fmt.Errorf("%w: %s: %v", errPermanent, rawURL, err)
+		}
+		if attempt >= s.opts.MaxRetries {
+			return "", fmt.Errorf("%w: %s: %v", errGiveUp, rawURL, err)
+		}
+		delay = s.backoff(attempt, se)
 	}
-	return "", fmt.Errorf("%w: %s: %v", errGiveUp, rawURL, lastErr)
 }
 
-// politeWait enforces the minimum inter-request interval.
+// backoff returns the delay before retry number attempt+1: the server's
+// Retry-After wish when it sent one, otherwise BackoffBase doubled per
+// attempt with ±50% jitter. Either way the delay never exceeds
+// BackoffMax — the shift is guarded so huge retry budgets cannot
+// overflow it into zero or negative sleeps.
+func (s *Scraper) backoff(attempt int, se *statusError) time.Duration {
+	max := s.opts.BackoffMax
+	if se != nil && se.retryAfter > 0 {
+		if se.retryAfter > max {
+			return max
+		}
+		return se.retryAfter
+	}
+	d := max
+	if attempt < 32 {
+		if shifted := s.opts.BackoffBase << attempt; shifted > 0 && shifted < max {
+			d = shifted
+		}
+	}
+	s.mu.Lock()
+	j := time.Duration(s.rng.Int63n(int64(d)/2 + 1))
+	s.mu.Unlock()
+	return d/2 + j
+}
+
+// politeWait enforces the minimum inter-request interval across all
+// workers: each caller reserves the next free slot under the lock, then
+// sleeps until its slot without holding it.
 func (s *Scraper) politeWait(ctx context.Context) error {
 	if s.opts.RequestInterval <= 0 {
 		return nil
 	}
-	if wait := s.opts.RequestInterval - time.Since(s.last); wait > 0 {
-		if err := sleepCtx(ctx, wait); err != nil {
-			return err
-		}
+	s.mu.Lock()
+	slot := s.last.Add(s.opts.RequestInterval)
+	if now := time.Now(); slot.Before(now) {
+		slot = now
 	}
-	s.last = time.Now()
+	s.last = slot
+	s.mu.Unlock()
+	if wait := time.Until(slot); wait > 0 {
+		return sleepCtx(ctx, wait)
+	}
 	return nil
 }
 
@@ -260,7 +503,9 @@ func (s *Scraper) get(ctx context.Context, rawURL string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	s.mu.Lock()
 	s.stats.Requests++
+	s.mu.Unlock()
 	resp, err := s.opts.Client.Do(req)
 	if err != nil {
 		return "", err
@@ -268,7 +513,15 @@ func (s *Scraper) get(ctx context.Context, rawURL string) (string, error) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return "", fmt.Errorf("status %d", resp.StatusCode)
+		se := &statusError{code: resp.StatusCode}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				se.retryAfter = time.Duration(secs) * time.Second
+			} else if when, err := http.ParseTime(ra); err == nil {
+				se.retryAfter = time.Until(when)
+			}
+		}
+		return "", se
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
