@@ -173,12 +173,22 @@ func parse(output string) (map[string][]Metrics, string) {
 			continue
 		}
 		var s Metrics
-		s.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		var err error
+		if s.NsPerOp, err = strconv.ParseFloat(m[2], 64); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: skipping malformed bench line: %s\n", line)
+			continue
+		}
 		if m[3] != "" {
-			s.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+			if s.BytesPerOp, err = strconv.ParseFloat(m[3], 64); err != nil {
+				fmt.Fprintf(os.Stderr, "benchdiff: skipping malformed bench line: %s\n", line)
+				continue
+			}
 		}
 		if m[4] != "" {
-			s.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+			if s.AllocsPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
+				fmt.Fprintf(os.Stderr, "benchdiff: skipping malformed bench line: %s\n", line)
+				continue
+			}
 		}
 		samples[m[1]] = append(samples[m[1]], s)
 	}

@@ -1,0 +1,163 @@
+// Command darklint runs the project's own static analyzers — the
+// machine-checked half of the determinism contract the equivalence
+// tests pin at runtime. It is a CI gate: any unsuppressed diagnostic
+// fails the build.
+//
+// Usage:
+//
+//	go run ./cmd/darklint ./...
+//	go run ./cmd/darklint -only=wallclock,errdrop ./internal/...
+//	go run ./cmd/darklint -wallclock.allow=internal/scraper,cmd ./...
+//
+// Analyzers: detrand (no global/time-seeded randomness in deterministic
+// packages), utcenforce (UTC-pinned time construction where the
+// activity profiles need it), maporder (no map-iteration order leaking
+// into output), errdrop (no silently discarded errors), wallclock
+// (time.Now only on the allowlist). Suppress one finding with
+// `//lint:ignore <analyzer> <reason>` on or above the offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"darklight/internal/analysis"
+	"darklight/internal/analysis/load"
+	"darklight/internal/analysis/passes/detrand"
+	"darklight/internal/analysis/passes/errdrop"
+	"darklight/internal/analysis/passes/maporder"
+	"darklight/internal/analysis/passes/utcenforce"
+	"darklight/internal/analysis/passes/wallclock"
+)
+
+var analyzers = []*analysis.Analyzer{
+	detrand.Analyzer,
+	errdrop.Analyzer,
+	maporder.Analyzer,
+	utcenforce.Analyzer,
+	wallclock.Analyzer,
+}
+
+func main() {
+	var (
+		only    = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		dir     = flag.String("C", "", "module root to analyze (default: current directory)")
+		verbose = flag.Bool("v", false, "report per-package progress and suppressed-finding counts")
+	)
+	for _, a := range analyzers {
+		a := a
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			flag.Var(f.Value, a.Name+"."+f.Name, f.Usage)
+		})
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := analyzers
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "darklint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Load(load.Config{Dir: *dir}, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "darklint: %v\n", err)
+		os.Exit(2)
+	}
+
+	type finding struct {
+		file string
+		line int
+		col  int
+		msg  string
+		name string
+	}
+	var findings []finding
+	suppressed := 0
+	for _, pkg := range pkgs {
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "darklint: %s\n", pkg.Path)
+		}
+		sup := analysis.NewSuppressor(pkg.Fset, pkg.Files)
+		for _, a := range selected {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				if sup.Suppressed(a.Name, d.Pos) {
+					suppressed++
+					return
+				}
+				p := pkg.Fset.Position(d.Pos)
+				file := p.Filename
+				if rel, err := filepath.Rel(mustGetwd(), file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = rel
+				}
+				findings = append(findings, finding{file: file, line: p.Line, col: p.Column, msg: d.Message, name: a.Name})
+			}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "darklint: %s on %s: %v\n", a.Name, pkg.Path, err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		return a.col < b.col
+	})
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: %s (%s)\n", f.file, f.line, f.col, f.msg, f.name)
+	}
+	if *verbose && suppressed > 0 {
+		fmt.Fprintf(os.Stderr, "darklint: %d finding(s) suppressed by lint:ignore\n", suppressed)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "darklint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func mustGetwd() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return "."
+	}
+	return wd
+}

@@ -34,6 +34,7 @@ func main() {
 		workers  = flag.Int("workers", 4, "concurrent thread fetchers")
 		retries  = flag.Int("retries", 4, "retry budget per page for transient failures (-1 disables retries)")
 		resume   = flag.String("resume", "", "checkpoint journal path; reused across runs to resume an interrupted crawl")
+		jitter   = flag.Int64("jitterseed", 0, "pin the backoff-jitter RNG for a reproducible retry schedule (0 = wall-clock seed)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -46,6 +47,7 @@ func main() {
 		Workers:         *workers,
 		MaxRetries:      *retries,
 		CheckpointPath:  *resume,
+		JitterSeed:      *jitter,
 	}
 	if *retries < 0 {
 		opts.MaxRetries = scraper.NoRetries

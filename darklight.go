@@ -269,6 +269,7 @@ func SaveJSONL(path string, d *Dataset) error {
 		return fmt.Errorf("darklight: %w", err)
 	}
 	if err := forum.WriteJSONL(f, d); err != nil {
+		//lint:ignore errdrop the WriteJSONL failure is the error worth returning; Close here only releases the fd
 		f.Close()
 		return err
 	}

@@ -1,0 +1,184 @@
+// Package analysistest runs an analyzer over testdata packages and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Layout: <testdata>/src/<pattern>/ holds one package per pattern; the
+// pattern doubles as the package's import path, so a testdata directory
+// named internal/synth exercises scope rules exactly as the real
+// darklight/internal/synth would. Expectations annotate the offending
+// line:
+//
+//	rand.Intn(6) // want `package-level math/rand`
+//
+// Each backquoted or double-quoted string is a regular expression that
+// must match exactly one diagnostic reported on that line; diagnostics
+// with no matching expectation (and expectations with no diagnostic)
+// fail the test. lint:ignore suppression is applied before matching, so
+// testdata can also pin the suppression syntax itself.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"darklight/internal/analysis"
+	"darklight/internal/analysis/load"
+)
+
+// Result is the outcome of one package run.
+type Result struct {
+	Pkg         *load.Package
+	Diagnostics []analysis.Diagnostic
+}
+
+// Run loads each pattern's package from testdata/src, applies the
+// analyzer, and reports mismatches via t.Errorf.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) []Result {
+	t.Helper()
+	var results []Result
+	for _, pattern := range patterns {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(pattern))
+		pkg, err := load.LoadDir(dir, pattern)
+		if err != nil {
+			t.Errorf("%s: loading %s: %v", a.Name, pattern, err)
+			continue
+		}
+		diags := runOne(t, a, pkg)
+		checkWants(t, a, pkg, diags)
+		results = append(results, Result{Pkg: pkg, Diagnostics: diags})
+	}
+	return results
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, pkg *load.Package) []analysis.Diagnostic {
+	t.Helper()
+	sup := analysis.NewSuppressor(pkg.Fset, pkg.Files)
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report: func(d analysis.Diagnostic) {
+			if d.Category == "" {
+				d.Category = a.Name
+			}
+			if !sup.Suppressed(a.Name, d.Pos) {
+				diags = append(diags, d)
+			}
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Errorf("%s: run on %s: %v", a.Name, pkg.Path, err)
+	}
+	return diags
+}
+
+// expectation is one // want regexp, keyed to a file line.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+(.*)$")
+
+func checkWants(t *testing.T, a *analysis.Analyzer, pkg *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := splitWant(m[1])
+				if err != nil {
+					t.Errorf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+					continue
+				}
+				for _, p := range patterns {
+					rx, err := regexp.Compile(p)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx, raw: p})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", a.Name, relFile(pkg, pos), pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", a.Name, relFileName(pkg, w.file), w.line, w.raw)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+}
+
+// splitWant tokenises the payload of a want comment into its quoted
+// regexps: sequences of "..." (Go-unquoted) or `...` (verbatim).
+func splitWant(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", s)
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			end := strings.IndexByte(s[1:], '"')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quote in %q", s)
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return out, nil
+}
+
+func relFile(pkg *load.Package, pos token.Position) string {
+	return relFileName(pkg, pos.Filename)
+}
+
+func relFileName(pkg *load.Package, file string) string {
+	if rel, err := filepath.Rel(pkg.Dir, file); err == nil {
+		return rel
+	}
+	return file
+}

@@ -1,0 +1,167 @@
+// Package astquery holds the type-resolved AST predicates the darklint
+// analyzers share: "is this call rand.Intn from math/rand?", "does this
+// expression contain a time.Now() call?", and friends. Everything works
+// through go/types objects, so renamed imports and shadowed identifiers
+// resolve correctly — a local variable named rand never triggers the
+// math/rand rules.
+package astquery
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PkgFunc returns the package path and name of the package-level function
+// a call invokes, or ("", "") when the callee is not a selector on an
+// imported package (method calls, local functions, conversions).
+func PkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pkgName, ok := info.Uses[ident].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pkgName.Imported().Path(), sel.Sel.Name
+}
+
+// IsPkgCall reports whether the call invokes one of the named
+// package-level functions of the package with the given import path.
+func IsPkgCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	p, n := PkgFunc(info, call)
+	if p != pkgPath {
+		return false
+	}
+	for _, want := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}
+
+// IsPkgSelector reports whether the expression is a direct selection of a
+// package-level object (variable, constant) of the given package — e.g.
+// time.Local.
+func IsPkgSelector(info *types.Info, e ast.Expr, pkgPath, name string) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := info.Uses[ident].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == pkgPath
+}
+
+// ContainsPkgCall reports whether the subtree rooted at n contains a call
+// to one of the named package-level functions.
+func ContainsPkgCall(info *types.Info, n ast.Node, pkgPath string, names ...string) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && IsPkgCall(info, call, pkgPath, names...) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// MethodCall returns the receiver type and method name of a method call,
+// or (nil, "") for anything else.
+func MethodCall(info *types.Info, call *ast.CallExpr) (recv types.Type, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil, ""
+	}
+	return s.Recv(), sel.Sel.Name
+}
+
+// IsNamed reports whether t (or the pointee, for pointers) is the named
+// type pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// ErrorResults returns the indices of the call's results whose type is
+// exactly error. A non-call or valueless expression yields nil.
+func ErrorResults(info *types.Info, call *ast.CallExpr) []int {
+	tv, ok := info.Types[call]
+	if !ok {
+		return nil
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		var out []int
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				out = append(out, i)
+			}
+		}
+		return out
+	default:
+		if types.Identical(tv.Type, errorType) {
+			return []int{0}
+		}
+		return nil
+	}
+}
+
+// ObjectOf resolves an identifier to its object via Uses then Defs.
+func ObjectOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// DeclaredOutside reports whether the identifier's object is declared
+// outside the span [lo, hi] — used to tell loop-local accumulators from
+// state that outlives a map iteration.
+func DeclaredOutside(info *types.Info, id *ast.Ident, lo, hi ast.Node) bool {
+	obj := ObjectOf(info, id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < lo.Pos() || obj.Pos() > hi.End()
+}
+
+// BasicKind returns the basic-type kind underlying t, or types.Invalid.
+func BasicKind(t types.Type) types.BasicKind {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return types.Invalid
+	}
+	return b.Kind()
+}
+
+// IsFloat reports whether t's underlying type is float32 or float64.
+func IsFloat(t types.Type) bool {
+	k := BasicKind(t)
+	return k == types.Float32 || k == types.Float64
+}

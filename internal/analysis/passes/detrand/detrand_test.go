@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"darklight/internal/analysis/analysistest"
+	"darklight/internal/analysis/passes/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer, "internal/synth", "other/free")
+}

@@ -1,0 +1,44 @@
+// Seeded violations for the detrand analyzer: this fake package's import
+// path ("internal/synth") puts it inside the deterministic scope.
+package synth
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraws() {
+	_ = rand.Intn(6)       // want `package-level math/rand call rand\.Intn`
+	_ = rand.Float64()     // want `package-level math/rand call rand\.Float64`
+	_ = rand.Perm(10)      // want `package-level math/rand call rand\.Perm`
+	rand.Shuffle(3, swap)  // want `package-level math/rand call rand\.Shuffle`
+	rand.Seed(42)          // want `package-level math/rand call rand\.Seed`
+	_ = rand.Int63n(100)   // want `package-level math/rand call rand\.Int63n`
+	_ = rand.NormFloat64() // want `package-level math/rand call rand\.NormFloat64`
+}
+
+func swap(i, j int) {}
+
+func wallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand\.NewSource seeded from time\.Now\(\)`
+}
+
+func wallClockSeedIndirect() rand.Source {
+	seed := time.Now().UnixNano()
+	_ = seed
+	return rand.NewSource(time.Now().Unix()) // want `rand\.NewSource seeded from time\.Now\(\)`
+}
+
+// Injected, seeded randomness is the sanctioned pattern.
+func good(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func goodDraw(r *rand.Rand) int {
+	return r.Intn(6) // method on an injected *rand.Rand: fine
+}
+
+func suppressedDraw() int {
+	//lint:ignore detrand demo: jitter for a log message, not pipeline output
+	return rand.Intn(6)
+}

@@ -1,0 +1,7 @@
+// Out-of-scope package: detrand must stay silent here even though the
+// same calls would be findings inside internal/synth.
+package free
+
+import "math/rand"
+
+func draws() int { return rand.Intn(6) }

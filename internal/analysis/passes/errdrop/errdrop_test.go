@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"darklight/internal/analysis/analysistest"
+	"darklight/internal/analysis/passes/errdrop"
+)
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, "testdata", errdrop.Analyzer, "internal/attribution")
+}

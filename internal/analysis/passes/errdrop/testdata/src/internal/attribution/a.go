@@ -1,0 +1,93 @@
+// Seeded violations for the errdrop analyzer, including a regression
+// case mirroring the PR 2 BuildSubjects bug: a worker that swallowed
+// every non-sentinel error, shipping partial subject sets as complete.
+package attribution
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+type Dataset struct{}
+
+type Subject struct{ Name string }
+
+var ErrInsufficientTimestamps = errors.New("insufficient timestamps")
+
+func BuildSubjects(d *Dataset) ([]Subject, error) {
+	if d == nil {
+		return nil, ErrInsufficientTimestamps
+	}
+	return []Subject{{Name: "a"}}, nil
+}
+
+// The PR 2 regression shape: the error vanishes into the blank
+// identifier and the partial result is used as if complete.
+func swallowedBuildSubjects(d *Dataset) []Subject {
+	subjects, _ := BuildSubjects(d) // want `error result of BuildSubjects assigned to _`
+	return subjects
+}
+
+func blankOnly(d *Dataset) {
+	_ = persist(d) // want `error result of persist assigned to _`
+}
+
+func bareCall(d *Dataset) {
+	persist(d) // want `error result of persist is silently discarded`
+}
+
+func persist(d *Dataset) error {
+	if d == nil {
+		return errors.New("nil dataset")
+	}
+	return nil
+}
+
+func handled(d *Dataset) ([]Subject, error) {
+	subjects, err := BuildSubjects(d)
+	if err != nil {
+		return nil, err
+	}
+	return subjects, nil
+}
+
+// Deferred Close is exempt by design: the error has nowhere to go.
+func deferredClose(c io.Closer) {
+	defer c.Close()
+}
+
+// …but a closure deferred for cleanup cannot hide dropped errors inside.
+func deferredClosure(d *Dataset) {
+	defer func() {
+		persist(d) // want `error result of persist is silently discarded`
+	}()
+}
+
+// Infallible sinks are exempt: strings.Builder, stdout/stderr.
+func sinks() string {
+	var b strings.Builder
+	b.WriteString("x")
+	fmt.Fprintf(&b, "%d", 1)
+	fmt.Fprintln(os.Stderr, "status")
+	fmt.Println("done")
+	return b.String()
+}
+
+// Real io.Writers stay flagged — a file write error must not vanish.
+func fileWrite(w io.Writer) {
+	fmt.Fprintf(w, "table row\n") // want `error result of fmt\.Fprintf is silently discarded`
+}
+
+func suppressedDrop(d *Dataset) {
+	//lint:ignore errdrop demo: best-effort cache warm-up, failure is harmless
+	persist(d)
+}
+
+// A bare lint:ignore without a reason suppresses nothing.
+func reasonlessSuppression(d *Dataset) {
+	//lint:ignore errdrop
+	persist(d) // want `error result of persist is silently discarded`
+}

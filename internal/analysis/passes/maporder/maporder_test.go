@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"darklight/internal/analysis/analysistest"
+	"darklight/internal/analysis/passes/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "internal/features", "other/free")
+}

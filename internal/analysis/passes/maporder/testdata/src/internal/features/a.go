@@ -1,0 +1,112 @@
+// Seeded violations for the maporder analyzer: this fake package's
+// import path ("internal/features") is inside the bit-identical scope.
+package features
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside map iteration`
+	}
+	return keys
+}
+
+func goodSortedAfter(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodSortSlice(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func badFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation over map order`
+	}
+	return sum
+}
+
+func badFloatSumSpelled(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v // want `floating-point accumulation over map order`
+	}
+	return sum
+}
+
+// Integer accumulation commutes exactly; no finding.
+func goodIntSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// A loop-local slice never leaks iteration order past the loop body.
+func goodLocalAppend(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+func badBuilderWrite(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want `b\.WriteString inside map iteration writes in random order`
+	}
+}
+
+func badFprint(m map[string]int, w io.Writer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside map iteration emits lines in random order`
+	}
+}
+
+func badSend(m map[string]int, ch chan<- int) {
+	for _, v := range m {
+		ch <- v // want `send on a channel inside map iteration`
+	}
+}
+
+// A package-local sort helper (the repo's sortStrings idiom) waives the
+// finding just like sort.Strings would.
+func goodLocalSortHelper(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	return keys
+}
+
+func sortStrings(s []string) { sort.Strings(s) }
+
+func suppressed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:ignore maporder demo: the caller sorts the merged result
+		keys = append(keys, k)
+	}
+	return keys
+}

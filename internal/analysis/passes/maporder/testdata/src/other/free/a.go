@@ -1,0 +1,10 @@
+// Out-of-scope package: maporder must stay silent here.
+package free
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+// Seeded violations for the utcenforce analyzer: this fake package's
+// import path ("internal/timeutil") is inside the UTC-critical scope.
+package timeutil
+
+import "time"
+
+var hostZone = time.Local // want `time\.Local leaks the host zone`
+
+func badUnix(sec int64) time.Time {
+	return time.Unix(sec, 0) // want `time\.Unix returns a local-zone Time`
+}
+
+func badUnixMilli(ms int64) time.Time {
+	return time.UnixMilli(ms) // want `time\.UnixMilli returns a local-zone Time`
+}
+
+func goodUnix(sec int64) time.Time {
+	return time.Unix(sec, 0).UTC()
+}
+
+func badDate(loc *time.Location) time.Time {
+	return time.Date(2017, time.January, 1, 0, 0, 0, 0, loc) // want `time\.Date with a non-UTC location`
+}
+
+func goodDate() time.Time {
+	return time.Date(2017, time.January, 1, 0, 0, 0, 0, time.UTC)
+}
+
+func goodDateConverted(loc *time.Location) time.Time {
+	// Building in a forum's zone and converting immediately is fine: the
+	// value that escapes is UTC.
+	return time.Date(2017, time.January, 1, 0, 0, 0, 0, loc).UTC()
+}
+
+func badParse(layout, value string, loc *time.Location) (time.Time, error) {
+	return time.ParseInLocation(layout, value, loc) // want `time\.ParseInLocation with a non-UTC location`
+}
+
+func goodParse(layout, value string) (time.Time, error) {
+	return time.ParseInLocation(layout, value, time.UTC)
+}
+
+func badLocal(t time.Time) time.Time {
+	return t.Local() // want `Time\.Local\(\) converts into the host zone`
+}
+
+func suppressed(sec int64) time.Time {
+	//lint:ignore utcenforce demo: the display layer may show local time
+	return time.Unix(sec, 0)
+}

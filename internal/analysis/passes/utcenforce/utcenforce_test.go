@@ -1,0 +1,12 @@
+package utcenforce_test
+
+import (
+	"testing"
+
+	"darklight/internal/analysis/analysistest"
+	"darklight/internal/analysis/passes/utcenforce"
+)
+
+func TestUTCEnforce(t *testing.T) {
+	analysistest.Run(t, "testdata", utcenforce.Analyzer, "internal/timeutil", "other/free")
+}

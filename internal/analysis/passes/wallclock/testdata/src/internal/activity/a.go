@@ -1,0 +1,28 @@
+// Seeded violations for the wallclock analyzer: internal/activity is a
+// pipeline package, not on the wall-clock allowlist — a time.Now() here
+// would leak the run's clock into the 24-bin activity profiles.
+package activity
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock outside the allowlist`
+}
+
+func age(t time.Time) time.Duration {
+	return time.Since(t) // want `time\.Since reads the wall clock outside the allowlist`
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `time\.Until reads the wall clock outside the allowlist`
+}
+
+// Pure calendar arithmetic is fine: no clock read.
+func good(t time.Time) time.Time {
+	return t.UTC().Truncate(time.Hour)
+}
+
+func suppressed() time.Time {
+	//lint:ignore wallclock demo: progress log timestamp, never enters a profile
+	return time.Now()
+}

@@ -1,0 +1,12 @@
+// Allowlisted package: the scraper's politeness limiter and backoff are
+// entitled to the wall clock, so wallclock must stay silent here.
+package scraper
+
+import "time"
+
+func nextSlot(last time.Time, interval time.Duration) time.Time {
+	if now := time.Now(); last.Add(interval).Before(now) {
+		return now
+	}
+	return last.Add(interval)
+}

@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"darklight/internal/analysis/analysistest"
+	"darklight/internal/analysis/passes/wallclock"
+)
+
+func TestWallClock(t *testing.T) {
+	analysistest.Run(t, "testdata", wallclock.Analyzer, "internal/activity", "internal/scraper")
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import "strings"
+
+// Scope is a comma-separable list of package-path patterns. A pattern
+// matches a package when its slash-separated segments occur as a
+// contiguous run anywhere in the package's import path, so the one
+// pattern "internal/synth" covers both the real package
+// ("darklight/internal/synth") and its analysistest stand-in
+// ("internal/synth"), and "cmd" covers every command. The special
+// pattern "all" matches everything.
+type Scope []string
+
+// NewScope splits a comma-separated pattern list, dropping empties.
+func NewScope(csv string) Scope {
+	var s Scope
+	for _, p := range strings.Split(csv, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			s = append(s, p)
+		}
+	}
+	return s
+}
+
+// String renders the scope as its flag syntax.
+func (s Scope) String() string { return strings.Join(s, ",") }
+
+// Set implements flag.Value so a Scope can back an analyzer flag.
+func (s *Scope) Set(csv string) error {
+	*s = NewScope(csv)
+	return nil
+}
+
+// Matches reports whether any pattern matches the package path.
+func (s Scope) Matches(pkgPath string) bool {
+	for _, pat := range s {
+		if pat == "all" || matchSegments(pat, pkgPath) {
+			return true
+		}
+	}
+	return false
+}
+
+func matchSegments(pattern, path string) bool {
+	if pattern == path {
+		return true
+	}
+	want := strings.Split(pattern, "/")
+	have := strings.Split(path, "/")
+	for i := 0; i+len(want) <= len(have); i++ {
+		ok := true
+		for j := range want {
+			if have[i+j] != want[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,42 @@
+package analysis
+
+import "testing"
+
+func TestScopeMatches(t *testing.T) {
+	cases := []struct {
+		scope string
+		path  string
+		want  bool
+	}{
+		{"internal/synth", "darklight/internal/synth", true},
+		{"internal/synth", "internal/synth", true},
+		{"internal/synth", "darklight/internal/synthetic", false},
+		{"internal/synth", "darklight/internal/corpus", false},
+		{"cmd", "darklight/cmd/scrape", true},
+		{"cmd", "darklight/internal/cmdutil", false},
+		{"internal", "darklight/internal/analysis/passes/errdrop", true},
+		{"all", "anything/at/all", true},
+		{"a,b,internal/x", "m/internal/x", true},
+		{"", "m/internal/x", false},
+		{"internal/scraper", "darklight/internal/scraper", true},
+		{"darklight", "darklight", true},
+	}
+	for _, c := range cases {
+		if got := NewScope(c.scope).Matches(c.path); got != c.want {
+			t.Errorf("Scope(%q).Matches(%q) = %v, want %v", c.scope, c.path, got, c.want)
+		}
+	}
+}
+
+func TestScopeFlagRoundTrip(t *testing.T) {
+	var s Scope
+	if err := s.Set(" internal/a , cmd ,"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.String(); got != "internal/a,cmd" {
+		t.Errorf("String() = %q", got)
+	}
+	if !s.Matches("m/internal/a") || !s.Matches("m/cmd/x") {
+		t.Error("parsed scope lost patterns")
+	}
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression syntax: a comment of the form
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// on the same line as the finding, or on the line directly above it,
+// silences matching diagnostics. The analyzer list may be "all". The
+// reason is mandatory — a bare //lint:ignore suppresses nothing, so every
+// waiver in the tree carries its justification.
+const ignorePrefix = "lint:ignore "
+
+// ignoreDirective is one parsed lint:ignore comment.
+type ignoreDirective struct {
+	names  []string // analyzer names, or ["all"]
+	reason string
+}
+
+func (d ignoreDirective) matches(analyzer string) bool {
+	for _, n := range d.names {
+		if n == "all" || n == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Suppressor answers whether a diagnostic is silenced by a lint:ignore
+// directive. Build one per package with NewSuppressor.
+type Suppressor struct {
+	fset *token.FileSet
+	// byLine maps filename -> line -> directives on that line.
+	byLine map[string]map[int][]ignoreDirective
+}
+
+// NewSuppressor indexes every lint:ignore directive in the files.
+func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
+	s := &Suppressor{fset: fset, byLine: make(map[string]map[int][]ignoreDirective)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				fields := strings.SplitN(rest, " ", 2)
+				if len(fields) < 2 || strings.TrimSpace(fields[1]) == "" {
+					continue // no reason given: directive is inert
+				}
+				d := ignoreDirective{
+					names:  NewScope(fields[0]),
+					reason: strings.TrimSpace(fields[1]),
+				}
+				pos := fset.Position(c.Pos())
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]ignoreDirective)
+					s.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], d)
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at pos
+// is covered by a directive on its line or the line above.
+func (s *Suppressor) Suppressed(analyzer string, pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	lines := s.byLine[p.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, d := range lines[line] {
+			if d.matches(analyzer) {
+				return true
+			}
+		}
+	}
+	return false
+}

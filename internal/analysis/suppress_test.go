@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const suppressSrc = `package p
+
+func f() {
+	g() //lint:ignore errdrop same-line reason
+	//lint:ignore errdrop,wallclock line-above reason
+	g()
+	//lint:ignore errdrop
+	g()
+	//lint:ignore all blanket reason
+	g()
+	g()
+}
+
+func g() {}
+`
+
+func TestSuppressor(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := NewSuppressor(fset, []*ast.File{f})
+
+	posAtLine := func(line int) token.Pos {
+		tf := fset.File(f.Pos())
+		return tf.LineStart(line)
+	}
+
+	cases := []struct {
+		line     int
+		analyzer string
+		want     bool
+		why      string
+	}{
+		{4, "errdrop", true, "same-line directive"},
+		{6, "errdrop", true, "directive on the line above"},
+		{6, "wallclock", true, "multi-analyzer directive"},
+		{6, "maporder", false, "analyzer not named"},
+		{8, "errdrop", false, "directive without a reason is inert"},
+		{10, "maporder", true, "all matches every analyzer"},
+		{11, "errdrop", false, "no directive in range"},
+	}
+	for _, c := range cases {
+		if got := sup.Suppressed(c.analyzer, posAtLine(c.line)); got != c.want {
+			t.Errorf("line %d, %s: Suppressed = %v, want %v (%s)", c.line, c.analyzer, got, c.want, c.why)
+		}
+	}
+}

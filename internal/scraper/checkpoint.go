@@ -54,6 +54,7 @@ func (s *Scraper) openCheckpoint() (map[string][]forum.Message, func(), error) {
 		s.mu.Lock()
 		s.ckpt = nil
 		s.mu.Unlock()
+		//lint:ignore errdrop the journal is best-effort (see appendCheckpoint); a close error cannot fail the crawl
 		f.Close()
 	}, nil
 }

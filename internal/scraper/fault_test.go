@@ -125,6 +125,34 @@ func TestBackoffCappedAndOverflowSafe(t *testing.T) {
 	}
 }
 
+// TestJitterSeedPinsBackoffSchedule pins the injectable jitter RNG
+// (ISSUE 4): the same JitterSeed must reproduce the exact backoff
+// schedule, so fault tests can assert on retry timing, while different
+// seeds decorrelate.
+func TestJitterSeedPinsBackoffSchedule(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		sc := New("http://x", Options{BackoffBase: 100 * time.Millisecond, BackoffMax: time.Second, JitterSeed: seed})
+		out := make([]time.Duration, 0, 8)
+		for attempt := 0; attempt < 8; attempt++ {
+			out = append(out, sc.backoff(attempt, nil))
+		}
+		return out
+	}
+	a, b := schedule(7), schedule(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+	// Every delay stays inside the jitter envelope [base/2, cap].
+	for i, d := range a {
+		if d <= 0 || d > time.Second {
+			t.Errorf("pinned backoff[%d] = %v, want in (0, 1s]", i, d)
+		}
+	}
+	if c := schedule(8); reflect.DeepEqual(a, c) {
+		t.Errorf("different seeds produced identical 8-draw schedules: %v", a)
+	}
+}
+
 func TestZeroRetriesIsExpressible(t *testing.T) {
 	if got := (Options{MaxRetries: NoRetries}).withDefaults().MaxRetries; got != 0 {
 		t.Fatalf("MaxRetries = %d, want 0", got)
