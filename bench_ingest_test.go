@@ -12,12 +12,14 @@ package darklight
 // the raw dataset outside the timer.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
 	"darklight/internal/attribution"
 	"darklight/internal/features"
 	"darklight/internal/forum"
+	"darklight/internal/obs"
 )
 
 var (
@@ -136,6 +138,30 @@ func BenchmarkIngestEndToEnd(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := attribution.NewMatcher(subs, attribution.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestEndToEndObs is BenchmarkIngestEndToEnd with tracing
+// live: each op records polish, vocabulary, and index spans into a fresh
+// tracer plus all ingest metrics. cmd/benchdiff -suite obs divides this
+// by BenchmarkIngestEndToEnd to guard the telemetry overhead bound.
+func BenchmarkIngestEndToEndObs(b *testing.B) {
+	raw := ingestRawReddit(b)
+	pipe := NewPipeline()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := cloneDataset(raw)
+		ctx := obs.WithTracer(context.Background(), obs.NewTracer())
+		b.StartTimer()
+		pipe.PolishContext(ctx, d)
+		subs, err := pipe.Subjects(pipe.Refine(d))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := attribution.NewMatcherContext(ctx, subs, attribution.DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -25,6 +25,7 @@ import (
 	"darklight/internal/experiments"
 	"darklight/internal/features"
 	"darklight/internal/forum"
+	"darklight/internal/obs"
 	"darklight/internal/sparse"
 )
 
@@ -568,6 +569,29 @@ func BenchmarkMatchAll(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := m.MatchAll(context.Background(), probes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatchAllObs is BenchmarkMatchAll with tracing live: every op
+// builds a fresh tracer and records the full span forest (match.all,
+// per-worker, per-query rank/rescore spans) plus the match metrics.
+// cmd/benchdiff -suite obs divides this by BenchmarkMatchAll to guard the
+// telemetry overhead bound (< 3%).
+func BenchmarkMatchAllObs(b *testing.B) {
+	known, probes := benchSubjects(b)
+	m, err := attribution.NewMatcher(known, attribution.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.MatchAll(context.Background(), probes); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := obs.WithTracer(context.Background(), obs.NewTracer())
+		if _, err := m.MatchAll(ctx, probes); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,12 +1,15 @@
 // Command benchdiff runs a perf-regression benchmark suite and records the
-// results in its trajectory file. Two suites exist, each with its own file
-// so neither clobbers the other:
+// results in its trajectory file. Three suites exist, each with its own
+// file so none clobbers another:
 //
 //   - matcher: the query hot path (BenchmarkRank, BenchmarkRescore,
 //     BenchmarkMatchAll) → BENCH_matcher.json
 //   - ingest: the corpus-onboarding path (BenchmarkPolish,
 //     BenchmarkVocabBuild, BenchmarkIndexBuild, BenchmarkIngestEndToEnd)
 //     → BENCH_ingest.json
+//   - obs: the telemetry overhead guard (BenchmarkMatchAll and
+//     BenchmarkIngestEndToEnd against their instrumented *Obs twins)
+//     → BENCH_obs.json
 //
 // Run a suite once from the commit you are starting from and once after
 // your change:
@@ -18,7 +21,14 @@
 // (before ns/op divided by after ns/op) is computed per benchmark. Each
 // phase stores the median of -count samples, so a single noisy run does
 // not skew the trajectory. `-bench` and `-out` override the suite's
-// benchmark filter and trajectory file for ad-hoc comparisons.
+// benchmark filter and trajectory file for ad-hoc comparisons; `-benchtime`
+// passes through to go test.
+//
+// For every Benchmark<X>Obs / Benchmark<X> pair measured in the same
+// phase, the ratio of instrumented to uninstrumented ns/op minus one is
+// recorded under `overheads`. `-maxoverhead` (percent, default 3; 0
+// disables) turns the ratio into a gate: telemetry costing more than the
+// bound fails the run.
 package main
 
 import (
@@ -57,6 +67,10 @@ type File struct {
 	GoVersion   string            `json:"go_version"`
 	CPU         string            `json:"cpu,omitempty"`
 	Benchmarks  map[string]*Entry `json:"benchmarks"`
+	// Overheads maps each benchmark that has an instrumented <name>Obs
+	// twin to (obs ns/op ÷ base ns/op) − 1, from the most recent phase
+	// that measured both.
+	Overheads map[string]float64 `json:"overheads,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
@@ -79,15 +93,22 @@ var suites = map[string]suite{
 		out:         "BENCH_ingest.json",
 		description: "Ingest-path benchmark trajectory (polish, vocabulary build, index build, end-to-end onboarding). Regenerate with `go run ./cmd/benchdiff -suite ingest -phase before|after`; medians of -count runs, ns/op ratios in `speedup`.",
 	},
+	"obs": {
+		pattern:     "^(BenchmarkMatchAll|BenchmarkMatchAllObs|BenchmarkIngestEndToEnd|BenchmarkIngestEndToEndObs)$",
+		out:         "BENCH_obs.json",
+		description: "Telemetry overhead trajectory: instrumented (tracing on, metrics live) vs uninstrumented runs of the two headline paths. Regenerate with `go run ./cmd/benchdiff -suite obs -phase before|after`; `overheads` holds (obs ÷ base) − 1 per pair, gated by -maxoverhead.",
+	},
 }
 
 func main() {
 	phase := flag.String("phase", "", "which side of the change this run measures: before | after")
 	count := flag.Int("count", 3, "benchmark sample count (median is recorded)")
-	suiteName := flag.String("suite", "matcher", "benchmark suite: matcher | ingest")
+	suiteName := flag.String("suite", "matcher", "benchmark suite: matcher | ingest | obs")
 	out := flag.String("out", "", "trajectory file to create or merge into (default: the suite's file)")
 	pattern := flag.String("bench", "", "benchmark selection pattern (default: the suite's filter)")
 	pkg := flag.String("pkg", ".", "package containing the benchmarks")
+	benchtime := flag.String("benchtime", "", "passed to go test -benchtime (e.g. 1x, 2s)")
+	maxOverhead := flag.Float64("maxoverhead", 3, "fail when an Obs twin costs more than this percent over its base (0 disables)")
 	flag.Parse()
 	if *phase != "before" && *phase != "after" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -phase must be 'before' or 'after'")
@@ -96,7 +117,7 @@ func main() {
 	}
 	s, ok := suites[*suiteName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "benchdiff: unknown suite %q (want matcher or ingest)\n", *suiteName)
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown suite %q (want matcher, ingest, or obs)\n", *suiteName)
 		os.Exit(2)
 	}
 	if *out == "" {
@@ -106,8 +127,13 @@ func main() {
 		*pattern = s.pattern
 	}
 
-	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", *pattern, "-benchmem", "-count", strconv.Itoa(*count), *pkg)
+	args := []string{"test", "-run", "^$",
+		"-bench", *pattern, "-benchmem", "-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	args = append(args, *pkg)
+	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	outBytes, err := cmd.Output()
 	if err != nil {
@@ -147,6 +173,8 @@ func main() {
 		}
 	}
 
+	overheadFailed := gateOverheads(f, *phase, *maxOverhead)
+
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
@@ -157,6 +185,44 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchdiff: recorded %q phase for %d benchmarks in %s\n", *phase, len(samples), *out)
+	if overheadFailed {
+		os.Exit(1)
+	}
+}
+
+// gateOverheads pairs every Benchmark<X>Obs with its Benchmark<X> base in
+// the given phase, records the relative overheads in f, and reports
+// whether any pair exceeded maxOverhead percent (0 disables the gate).
+func gateOverheads(f *File, phase string, maxOverhead float64) bool {
+	failed := false
+	for short, e := range f.Benchmarks {
+		base, ok := strings.CutSuffix(short, "Obs")
+		if !ok {
+			continue
+		}
+		be := f.Benchmarks[base]
+		if be == nil {
+			continue
+		}
+		obsM, baseM := e.Before, be.Before
+		if phase == "after" {
+			obsM, baseM = e.After, be.After
+		}
+		if obsM == nil || baseM == nil || baseM.NsPerOp == 0 {
+			continue
+		}
+		ov := obsM.NsPerOp/baseM.NsPerOp - 1
+		if f.Overheads == nil {
+			f.Overheads = make(map[string]float64)
+		}
+		f.Overheads[base] = round3(ov)
+		fmt.Fprintf(os.Stderr, "benchdiff: telemetry overhead on %s: %+.2f%%\n", base, ov*100)
+		if maxOverhead > 0 && ov*100 > maxOverhead {
+			fmt.Fprintf(os.Stderr, "benchdiff: FAIL: %s overhead %.2f%% exceeds the %.2f%% bound\n", base, ov*100, maxOverhead)
+			failed = true
+		}
+	}
+	return failed
 }
 
 // parse collects every sample per benchmark name plus the reported CPU.

@@ -5,11 +5,19 @@
 // Usage:
 //
 //	experiments [-scale 0.12] [-seed 1] [-run tab1,fig3] [-out results.md]
+//	            [-manifest run.json] [-trace trace.jsonl] [-obs.addr 127.0.0.1:0]
 //
 // Experiment ids: tab1..tab6, fig1..fig5, tmgdm, dewhole, profile, batch.
+//
+// With -manifest the run writes a run.json audit artifact: configuration,
+// seeds, dataset digests, per-stage span summaries, the final metric
+// snapshot, and every rendered result. -trace additionally dumps the full
+// span forest as JSONL; -obs.addr serves /metrics and /debug/pprof for
+// the duration of the run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +25,7 @@ import (
 	"time"
 
 	"darklight/internal/experiments"
+	"darklight/internal/obs"
 )
 
 func main() {
@@ -33,6 +42,9 @@ func run() error {
 		only     = flag.String("run", "", "comma-separated experiment ids (default: all)")
 		outPath  = flag.String("out", "", "also write results to this markdown file")
 		unknowns = flag.Int("unknowns", 0, "cap on alter-ego query sets (0 = default)")
+		manifest = flag.String("manifest", "", "write a run.json manifest to this path")
+		trace    = flag.String("trace", "", "write the span trace as JSONL to this path")
+		obsAddr  = flag.String("obs.addr", "", "serve /metrics and /debug/pprof on this address for the run's duration")
 	)
 	flag.Parse()
 
@@ -58,11 +70,27 @@ func run() error {
 		out.WriteString(s)
 	}
 
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if *manifest != "" || *trace != "" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+	if *obsAddr != "" {
+		addr, err := obs.Serve(*obsAddr, obs.Default(), func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "experiments: observability on http://%s/metrics\n", addr)
+	}
+
 	start := time.Now()
 	emit("darklight experiment suite — scale %.2f, seed %d, started %s\n\n",
 		*scale, *seed, time.Now().Format(time.RFC3339))
 
-	lab, err := experiments.NewLab(cfg)
+	lab, err := experiments.NewLabContext(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -108,6 +136,7 @@ func run() error {
 		{"batch", func() (fmt.Stringer, error) { return lab.BatchProcedure() }},
 	}
 
+	results := make(map[string]string)
 	for _, e := range list {
 		if !want(e.id) {
 			continue
@@ -122,7 +151,9 @@ func run() error {
 			emit("(no result)\n\n")
 			continue
 		}
-		emit("%s\n", rep.String())
+		rendered := rep.String()
+		results[e.id] = rendered
+		emit("%s\n", rendered)
 	}
 	emit("total wall clock: %s\n", time.Since(start).Round(time.Second))
 
@@ -131,5 +162,37 @@ func run() error {
 			return fmt.Errorf("write %s: %w", *outPath, err)
 		}
 	}
+	if *manifest != "" {
+		man, err := lab.Manifest(tracer)
+		if err != nil {
+			return err
+		}
+		for id, rendered := range results {
+			man.AddResult(id, rendered)
+		}
+		if err := man.WriteFile(*manifest); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "experiments: manifest written to %s\n", *manifest)
+	}
+	if *trace != "" {
+		if err := writeTrace(*trace, tracer); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "experiments: trace written to %s\n", *trace)
+	}
 	return nil
+}
+
+func writeTrace(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteJSONL(f); err != nil {
+		//lint:ignore errdrop the write error is already fatal; the close error cannot add anything
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return f.Close()
 }

@@ -19,6 +19,7 @@ import (
 	"darklight"
 	"darklight/internal/darkweb"
 	"darklight/internal/forum"
+	"darklight/internal/obs"
 )
 
 func main() {
@@ -55,9 +56,16 @@ func main() {
 	log.Printf("forumd: serving %s (%d aliases, %d messages, boards %v) on http://%s",
 		dataset.Name, dataset.Len(), dataset.TotalMessages(), srv.Boards(), *listen)
 
+	// The forum pages mount at /; the observability surfaces (/metrics,
+	// /debug/vars, /debug/pprof/) mount beside them — ServeMux routes the
+	// longer patterns first.
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	obs.AttachDebug(mux, obs.Default())
+
 	server := &http.Server{
 		Addr:              *listen,
-		Handler:           srv.Handler(),
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	if err := server.ListenAndServe(); err != nil {

@@ -22,6 +22,7 @@ import (
 
 	"darklight"
 	"darklight/internal/forum"
+	"darklight/internal/obs"
 	"darklight/internal/scraper"
 )
 
@@ -36,11 +37,27 @@ func main() {
 		resume   = flag.String("resume", "", "checkpoint journal path; reused across runs to resume an interrupted crawl")
 		jitter   = flag.Int64("jitterseed", 0, "pin the backoff-jitter RNG for a reproducible retry schedule (0 = wall-clock seed)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
+		manifest = flag.String("manifest", "", "write a run.json manifest to this path")
+		obsAddr  = flag.String("obs.addr", "", "serve /metrics and /debug/pprof on this address for the crawl's duration")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	var tracer *obs.Tracer
+	if *manifest != "" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+	if *obsAddr != "" {
+		addr, err := obs.Serve(*obsAddr, obs.Default(), log.Printf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scrape:", err)
+			os.Exit(1)
+		}
+		log.Printf("scrape: observability on http://%s/metrics", addr)
+	}
 
 	opts := scraper.Options{
 		RequestInterval: *interval,
@@ -77,4 +94,29 @@ func main() {
 		"(%d requests, %d retries, %d threads resumed, %d failed) in %s → %s",
 		dataset.Len(), st.Posts, st.Threads, st.Boards, st.Requests, st.Retries,
 		st.Resumed, st.Failed, time.Since(start).Round(time.Millisecond), *out)
+
+	if *manifest != "" {
+		man := obs.NewManifest("scrape")
+		man.Config = opts
+		man.AddSeed("jitter", *jitter)
+		sum, err := forum.DigestJSONL(dataset)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scrape:", err)
+			os.Exit(1)
+		}
+		man.Datasets = []obs.DatasetDigest{{
+			Name: dataset.Name, Aliases: dataset.Len(), Messages: dataset.TotalMessages(), SHA256: sum,
+		}}
+		man.Stages = tracer.Stages()
+		man.Metrics = obs.Default().Snapshot()
+		man.AddResult("stats", fmt.Sprintf("%+v", st))
+		for _, ce := range sc.Errors() {
+			man.AddResult("error:"+ce.Board+ce.Thread, ce.String())
+		}
+		if err := man.WriteFile(*manifest); err != nil {
+			fmt.Fprintln(os.Stderr, "scrape:", err)
+			os.Exit(1)
+		}
+		log.Printf("scrape: manifest written to %s", *manifest)
+	}
 }

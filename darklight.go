@@ -170,7 +170,14 @@ func NewPipeline(opts ...Option) *Pipeline {
 // the per-step report. The steps fan out over the pipeline's worker count;
 // the result is bit-identical for any setting.
 func (p *Pipeline) Polish(d *Dataset) *PolishReport {
-	return normalize.NewPipeline(normalize.WithWorkers(p.opts.Workers)).Run(d)
+	return p.PolishContext(context.Background(), d)
+}
+
+// PolishContext is Polish under a context that may carry an obs.Tracer
+// (see internal/obs): with tracing enabled the run emits polish spans; the
+// dataset and report are bit-identical either way.
+func (p *Pipeline) PolishContext(ctx context.Context, d *Dataset) *PolishReport {
+	return normalize.NewPipeline(normalize.WithWorkers(p.opts.Workers)).RunContext(ctx, d)
 }
 
 // Refine drops aliases below the §IV-D thresholds (1,500 words, 30 usable
@@ -206,7 +213,7 @@ func (p *Pipeline) Link(ctx context.Context, known, unknown *Dataset) ([]Match, 
 	if err != nil {
 		return nil, fmt.Errorf("darklight: prepare known aliases: %w", err)
 	}
-	m, err := attribution.NewMatcher(knownSubs, p.opts)
+	m, err := attribution.NewMatcherContext(ctx, knownSubs, p.opts)
 	if err != nil {
 		return nil, fmt.Errorf("darklight: index known aliases: %w", err)
 	}
@@ -240,7 +247,7 @@ func (p *Pipeline) LinkDetailed(ctx context.Context, known, unknown *Dataset) ([
 	if err != nil {
 		return nil, fmt.Errorf("darklight: prepare known aliases: %w", err)
 	}
-	m, err := attribution.NewMatcher(knownSubs, p.opts)
+	m, err := attribution.NewMatcherContext(ctx, knownSubs, p.opts)
 	if err != nil {
 		return nil, fmt.Errorf("darklight: index known aliases: %w", err)
 	}

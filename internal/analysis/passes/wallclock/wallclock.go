@@ -3,11 +3,13 @@
 // scores, experiment tables — must be pure functions of (input corpus,
 // seed, options); a time.Now() anywhere on those paths leaks the run's
 // wall clock into results that are supposed to be reproducible. Places
-// that legitimately need the clock stay on the allowlist: the scraper's
-// politeness limiter and retry backoff, the fault-injecting darkweb
-// server, and CLI/example progress timers. A single call site elsewhere
-// can carry `//lint:ignore wallclock <reason>` instead of widening the
-// allowlist.
+// that legitimately need the clock stay on the allowlist: the obs
+// telemetry layer (span durations and manifest timestamps — durations
+// are exported as timings and never feed back into pipeline output),
+// the scraper's politeness limiter and retry backoff, the
+// fault-injecting darkweb server, and CLI/example progress timers. A
+// single call site elsewhere can carry `//lint:ignore wallclock
+// <reason>` instead of widening the allowlist.
 package wallclock
 
 import (
@@ -18,7 +20,7 @@ import (
 )
 
 // DefaultAllow lists the packages allowed to read the wall clock.
-const DefaultAllow = "internal/scraper,internal/darkweb,cmd,examples"
+const DefaultAllow = "internal/obs,internal/scraper,internal/darkweb,cmd,examples"
 
 var allow = analysis.NewScope(DefaultAllow)
 

@@ -9,6 +9,23 @@ import (
 	"sync"
 
 	"darklight/internal/features"
+	"darklight/internal/obs"
+)
+
+// Matcher metrics. Every value is a count of work performed — never a
+// duration — so totals are identical for any worker count and with
+// tracing on or off.
+var (
+	mRankTotal    = obs.Default().Counter("match_rank_total", "stage-1 rankings computed")
+	mRescoreTotal = obs.Default().Counter("match_rescore_total", "stage-2 rescorings computed")
+	mDecisions    = obs.Default().CounterVec("match_decisions_total", "final match decisions", "decision")
+	mAccepted     = mDecisions.With("accepted")
+	mRejected     = mDecisions.With("rejected")
+	mCandidates   = obs.Default().Histogram("match_candidates", "stage-1 candidate-list sizes",
+		[]float64{0, 1, 2, 5, 10, 20, 50, 100})
+	mKnown     = obs.Default().Gauge("matcher_known_subjects", "known subjects indexed by the most recent matcher build")
+	mVocabSize = obs.Default().Gauge("matcher_vocab_grams", "reduction-vocabulary size of the most recent matcher build")
+	mPostings  = obs.Default().Gauge("matcher_posting_features", "distinct gram features in the most recent matcher's inverted index")
 )
 
 // Options configure a Matcher. The zero value is not usable; start from
@@ -164,6 +181,14 @@ type posting struct {
 // NewMatcher indexes the known subjects. The known slice is retained (the
 // second stage re-reads candidate texts); callers must not mutate it.
 func NewMatcher(known []Subject, opts Options) (*Matcher, error) {
+	return NewMatcherContext(context.Background(), known, opts)
+}
+
+// NewMatcherContext is NewMatcher under a context that may carry an
+// obs.Tracer: the vocabulary pass emits a "matcher.vocab" span and the
+// index pass a "matcher.index" span, each with one shard child per worker
+// chunk. The built index is bit-identical with tracing on or off.
+func NewMatcherContext(ctx context.Context, known []Subject, opts Options) (*Matcher, error) {
 	opts = opts.withDefaults()
 	if err := opts.Reduction.Validate(); err != nil {
 		return nil, fmt.Errorf("attribution: reduction config: %w", err)
@@ -183,8 +208,14 @@ func NewMatcher(known []Subject, opts Options) (*Matcher, error) {
 	// dropped as soon as they are folded in — keeping every doc alive
 	// would cost ~1 MB per subject.
 	shards := shardCount(opts.Workers, len(known))
+	vctx, vspan := obs.Start(ctx, "matcher.vocab")
+	vspan.AddItems(int64(len(known)))
 	builders := make([]*features.VocabBuilder, shards)
 	parallelChunks(shards, len(known), func(s, lo, hi int) {
+		_, ss := obs.Start(vctx, "matcher.vocab.shard")
+		ss.SetWorker(s)
+		ss.AddItems(int64(hi - lo))
+		defer ss.End()
 		vb := features.NewVocabBuilder(opts.Reduction)
 		for i := lo; i < hi; i++ {
 			vb.Add(features.Extract(known[i].Text, opts.Reduction))
@@ -196,6 +227,7 @@ func NewMatcher(known []Subject, opts Options) (*Matcher, error) {
 		vb.Merge(o)
 	}
 	m.vocab = vb.Build()
+	vspan.End()
 
 	// Pass 2: re-extract, build blocks, and assemble per-shard posting
 	// lists in one parallel sweep over the same contiguous chunks. Each
@@ -206,8 +238,14 @@ func NewMatcher(known []Subject, opts Options) (*Matcher, error) {
 	m.hasGrams = make([]bool, len(known))
 	m.freqs = make([][]float64, len(known))
 	m.acts = make([][]float64, len(known))
+	ictx, ispan := obs.Start(ctx, "matcher.index")
+	ispan.AddItems(int64(len(known)))
 	shardPostings := make([]map[uint32][]posting, shards)
 	parallelChunks(shards, len(known), func(s, lo, hi int) {
+		_, ss := obs.Start(ictx, "matcher.index.shard")
+		ss.SetWorker(s)
+		ss.AddItems(int64(hi - lo))
+		defer ss.End()
 		local := make(map[uint32][]posting)
 		for i := lo; i < hi; i++ {
 			b := buildBlocks(&known[i], m.vocab, opts.Reduction)
@@ -226,6 +264,10 @@ func NewMatcher(known []Subject, opts Options) (*Matcher, error) {
 			m.postings[idx] = append(m.postings[idx], ps...)
 		}
 	}
+	ispan.End()
+	mKnown.Set(float64(len(known)))
+	mVocabSize.Set(float64(m.vocab.NumWordGrams() + m.vocab.NumCharGrams()))
+	mPostings.Set(float64(len(m.postings)))
 
 	// Stage-2 support structures, hoisted out of Rescore: the name index
 	// (previously rebuilt on every call) and the lazy Final-config doc
@@ -297,6 +339,7 @@ func (m *Matcher) RankWith(unknown *Subject, k int, w Weights) []Scored {
 // rankDoc is RankWith over an already-extracted reduction-config document,
 // with optional per-worker scratch buffers.
 func (m *Matcher) rankDoc(doc *features.Doc, unknown *Subject, k int, w Weights, buf *matchBuffers) []Scored {
+	mRankTotal.Inc()
 	if k <= 0 {
 		k = m.opts.K
 	}
@@ -373,6 +416,7 @@ func (m *Matcher) Rescore(unknown *Subject, candidates []Scored) []Scored {
 // (valid only when the reduction and final configs share extraction —
 // Match checks m.sameExtract before passing one).
 func (m *Matcher) rescoreDoc(udoc *features.Doc, unknown *Subject, candidates []Scored) []Scored {
+	mRescoreTotal.Inc()
 	idxs := make([]int, 0, len(candidates))
 	for _, c := range candidates {
 		if i, ok := m.byName[c.Name]; ok {
@@ -410,17 +454,24 @@ func (m *Matcher) rescoreDoc(udoc *features.Doc, unknown *Subject, candidates []
 
 // Match runs the full §IV-I algorithm for one unknown.
 func (m *Matcher) Match(unknown *Subject) MatchResult {
-	return m.match(unknown, nil)
+	return m.match(context.Background(), unknown, nil)
 }
 
-// match is Match with optional per-worker scratch. The unknown's document
-// is extracted once; when the two stages share an extraction config (the
-// paper's setup) the same document also feeds Rescore.
-func (m *Matcher) match(unknown *Subject, buf *matchBuffers) MatchResult {
+// match is Match with optional per-worker scratch and a context that may
+// carry a tracer (per-query "match.rank" / "match.rescore" spans). The
+// unknown's document is extracted once; when the two stages share an
+// extraction config (the paper's setup) the same document also feeds
+// Rescore.
+func (m *Matcher) match(ctx context.Context, unknown *Subject, buf *matchBuffers) MatchResult {
 	res := MatchResult{Unknown: unknown.Name}
 	udoc := features.Extract(unknown.Text, m.opts.Reduction)
+	_, rsp := obs.Start(ctx, "match.rank")
 	res.Candidates = m.rankDoc(udoc, unknown, m.opts.K, m.opts.weights(), buf)
+	rsp.AddItems(int64(len(res.Candidates)))
+	rsp.End()
+	mCandidates.Observe(float64(len(res.Candidates)))
 	if len(res.Candidates) == 0 {
+		mRejected.Inc()
 		return res
 	}
 	if m.opts.TwoStage {
@@ -428,12 +479,20 @@ func (m *Matcher) match(unknown *Subject, buf *matchBuffers) MatchResult {
 		if !m.sameExtract {
 			rdoc = nil
 		}
+		_, ssp := obs.Start(ctx, "match.rescore")
 		res.Rescored = m.rescoreDoc(rdoc, unknown, res.Candidates)
+		ssp.AddItems(int64(len(res.Rescored)))
+		ssp.End()
 	} else {
 		res.Rescored = res.Candidates
 	}
 	res.Best = res.Rescored[0]
 	res.Accepted = res.Best.Score >= m.opts.Threshold
+	if res.Accepted {
+		mAccepted.Inc()
+	} else {
+		mRejected.Inc()
+	}
 	return res
 }
 
@@ -441,6 +500,9 @@ func (m *Matcher) match(unknown *Subject, buf *matchBuffers) MatchResult {
 // Results are positionally aligned with the input. The context cancels
 // remaining work; cancelled entries carry only the Unknown name.
 func (m *Matcher) MatchAll(ctx context.Context, unknowns []Subject) ([]MatchResult, error) {
+	actx, aspan := obs.Start(ctx, "match.all")
+	aspan.AddItems(int64(len(unknowns)))
+	defer aspan.End()
 	results := make([]MatchResult, len(unknowns))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -452,15 +514,20 @@ func (m *Matcher) MatchAll(ctx context.Context, unknowns []Subject) ([]MatchResu
 		workers = 1
 	}
 	for w := 0; w < workers; w++ {
+		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wctx, wsp := obs.Start(actx, "match.worker")
+			wsp.SetWorker(w)
+			defer wsp.End()
 			// Each worker owns one scratch buffer for the whole run:
 			// score accumulators and the top-k heap are sized once and
 			// reused across every query the worker picks up.
 			var buf matchBuffers
 			for i := range jobs {
-				results[i] = m.match(&unknowns[i], &buf)
+				results[i] = m.match(wctx, &unknowns[i], &buf)
+				wsp.AddItems(1)
 			}
 		}()
 	}

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -166,7 +165,7 @@ func (l *Lab) Figure3() (*Figure3Report, error) {
 	known, unknown := sampleKnownUnknown(knownAll, aeAll,
 		l.Cfg.BaselineKnown, l.Cfg.BaselineUnknowns, int64(l.Cfg.Seed)+404)
 	rep := &Figure3Report{Known: len(known), Unknowns: len(unknown)}
-	ctx := context.Background()
+	ctx := l.Context()
 
 	// Standard baseline: space-free char 4-grams + cosine.
 	t := StartTimer()

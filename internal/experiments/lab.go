@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -113,13 +114,29 @@ type Lab struct {
 	redditMatcher *attribution.Matcher
 	darkMatcher   *attribution.Matcher
 	curves        *aeCurveSet
+
+	// ctx is the context the lab was built under; when it carries an
+	// obs.Tracer, every harness stage (polish, matcher builds, MatchAll)
+	// emits spans into it.
+	ctx context.Context
 }
 
 // NewLab generates and prepares the shared datasets. This is the expensive
 // setup step (~1–2 minutes at the default scale on one CPU).
 func NewLab(cfg LabConfig) (*Lab, error) {
+	return NewLabContext(context.Background(), cfg)
+}
+
+// NewLabContext is NewLab under a context that may carry an obs.Tracer.
+// The lab retains the context and threads it through every pipeline stage
+// it runs, now and later (lazy matcher builds, harness MatchAll calls).
+// All outputs are bit-identical with tracing on or off.
+func NewLabContext(ctx context.Context, cfg LabConfig) (*Lab, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.withDefaults()
-	l := &Lab{Cfg: cfg, PolishReports: make(map[string]*normalize.Report)}
+	l := &Lab{Cfg: cfg, PolishReports: make(map[string]*normalize.Report), ctx: ctx}
 
 	gen := synth.DefaultConfig().Scaled(cfg.Scale)
 	gen.Seed = cfg.Seed
@@ -140,9 +157,9 @@ func NewLab(cfg LabConfig) (*Lab, error) {
 	world.AlignUTC()
 
 	pipe := normalize.NewPipeline()
-	l.PolishReports["reddit"] = pipe.Run(world.Reddit)
-	l.PolishReports["tmg"] = pipe.Run(world.TMG)
-	l.PolishReports["dm"] = pipe.Run(world.DM)
+	l.PolishReports["reddit"] = pipe.RunContext(ctx, world.Reddit)
+	l.PolishReports["tmg"] = pipe.RunContext(ctx, world.TMG)
+	l.PolishReports["dm"] = pipe.RunContext(ctx, world.DM)
 	l.RawReddit, l.RawTMG, l.RawDM = world.Reddit, world.TMG, world.DM
 
 	l.ActivityOpts = activity.PaperOptions(2017)
@@ -161,6 +178,16 @@ func atLeast(n, floor int) int {
 		return floor
 	}
 	return n
+}
+
+// Context returns the context the lab was built with (context.Background
+// for NewLab). Harnesses pass it to MatchAll and the matcher builds so
+// their spans reach the lab's tracer.
+func (l *Lab) Context() context.Context {
+	if l.ctx == nil {
+		return context.Background()
+	}
+	return l.ctx
 }
 
 // SubjectOpts returns the standard subject-building options.
@@ -190,7 +217,7 @@ func (l *Lab) RedditMatcher() (*attribution.Matcher, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := attribution.NewMatcher(known, l.MatcherOpts())
+	m, err := attribution.NewMatcherContext(l.Context(), known, l.MatcherOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +243,7 @@ func (l *Lab) DarkMatcher() (*attribution.Matcher, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := attribution.NewMatcher(subjects, l.MatcherOpts())
+	m, err := attribution.NewMatcherContext(l.Context(), subjects, l.MatcherOpts())
 	if err != nil {
 		return nil, err
 	}

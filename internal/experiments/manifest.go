@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+
+	"darklight/internal/forum"
+	"darklight/internal/obs"
+)
+
+// Manifest assembles the run.json audit artifact for one experiment run:
+// the lab configuration and seeds, a SHA-256 digest of every prepared
+// dataset, the stage summaries of the run's tracer (pass nil for an
+// untraced run), and the final metric snapshot. Everything except
+// CreatedUTC and the stage durations is reproducible: two runs of the
+// same config on any machine produce identical digests, metric values,
+// and results. Per-experiment results are added by the caller via
+// AddResult as they render.
+func (l *Lab) Manifest(tracer *obs.Tracer) (*obs.Manifest, error) {
+	m := obs.NewManifest("experiments")
+	m.Config = l.Cfg
+	m.AddSeed("world", int64(l.Cfg.Seed))
+	m.AddSeed("alter-ego-split", int64(l.Cfg.Seed))
+	for _, d := range []*forum.Dataset{l.Reddit, l.AEReddit, l.TMG, l.AETMG, l.DM, l.AEDM} {
+		if d == nil {
+			continue
+		}
+		sum, err := forum.DigestJSONL(d)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: digest %s: %w", d.Name, err)
+		}
+		m.Datasets = append(m.Datasets, obs.DatasetDigest{
+			Name:     d.Name,
+			Aliases:  d.Len(),
+			Messages: d.TotalMessages(),
+			SHA256:   sum,
+		})
+	}
+	if tracer != nil {
+		m.Stages = tracer.Stages()
+	}
+	m.Metrics = obs.Default().Snapshot()
+	return m, nil
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"darklight/internal/attribution"
+	"darklight/internal/forum"
+	"darklight/internal/obs"
+)
+
+// TestTelemetryEquivalence pins the central observability contract: a run
+// with tracing enabled produces byte-identical pipeline output — polished
+// datasets, per-step reports including byte deltas, and match results —
+// to an untraced run. The traced lab additionally must have produced
+// spans for every major stage, or the equivalence would hold vacuously.
+func TestTelemetryEquivalence(t *testing.T) {
+	cfg := DefaultLabConfig()
+	cfg.Scale = 0.015
+	cfg.MaxUnknowns = 30
+
+	plain, err := NewLab(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewTracer()
+	traced, err := NewLabContext(obs.WithTracer(context.Background(), tracer), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain.PolishReports, traced.PolishReports) {
+		t.Errorf("polish reports diverge with tracing on:\noff: %v\non:  %v",
+			plain.PolishReports["reddit"], traced.PolishReports["reddit"])
+	}
+
+	pairs := [][2]*forum.Dataset{
+		{plain.Reddit, traced.Reddit}, {plain.AEReddit, traced.AEReddit},
+		{plain.TMG, traced.TMG}, {plain.AETMG, traced.AETMG},
+		{plain.DM, traced.DM}, {plain.AEDM, traced.AEDM},
+	}
+	for _, p := range pairs {
+		a, err := forum.DigestJSONL(p[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := forum.DigestJSONL(p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("dataset %s digest diverges with tracing on: %s vs %s", p[0].Name, a, b)
+		}
+	}
+
+	runAll := func(l *Lab) []attribution.MatchResult {
+		m, err := l.RedditMatcher()
+		if err != nil {
+			t.Fatal(err)
+		}
+		unknowns, err := attribution.BuildSubjects(l.AEReddit, l.SubjectOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		unknowns = sampleSubjects(unknowns, cfg.MaxUnknowns, 42)
+		res, err := m.MatchAll(l.Context(), unknowns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off, on := runAll(plain), runAll(traced)
+	if !reflect.DeepEqual(off, on) {
+		t.Error("matcher scores diverge with tracing on")
+	}
+
+	got := make(map[string]bool)
+	for _, s := range tracer.Stages() {
+		got[s.Name] = true
+	}
+	for _, want := range []string{"polish", "matcher.vocab", "matcher.index", "match.all", "match.rank", "match.rescore"} {
+		if !got[want] {
+			t.Errorf("traced run emitted no %q span (stages: %v)", want, tracer.Stages())
+		}
+	}
+
+	// A traced manifest and an untraced one agree on every deterministic
+	// field that derives from the corpus.
+	mOn, err := traced.Manifest(tracer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mOff, err := plain.Manifest(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mOn.Datasets, mOff.Datasets) {
+		t.Error("manifest dataset digests diverge with tracing on")
+	}
+	if len(mOn.Stages) == 0 {
+		t.Error("traced manifest has no stage summaries")
+	}
+}

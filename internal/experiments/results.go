@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -63,7 +62,7 @@ func (l *Lab) TMGvsDM() (*CrossForumReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	results, err := m.MatchAll(context.Background(), unknown)
+	results, err := m.MatchAll(l.Context(), unknown)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +82,7 @@ func (l *Lab) RedditVsDarkWeb() (*CrossForumReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx := context.Background()
+	ctx := l.Context()
 
 	tmgUnknowns, err := attribution.BuildSubjects(l.TMG, l.SubjectOpts())
 	if err != nil {
@@ -320,7 +319,7 @@ func (l *Lab) BatchProcedure() (*BatchReport, error) {
 
 	mopts := l.MatcherOpts()
 	mopts.Threshold = threshold
-	ctx := context.Background()
+	ctx := l.Context()
 
 	bm, err := attribution.NewBatchMatcher(known, mopts, 100)
 	if err != nil {

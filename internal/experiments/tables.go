@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -525,7 +524,7 @@ func (l *Lab) aeCurves() (*aeCurveSet, error) {
 	half := len(sample) / 2
 	w1, w2 := sample[:half], sample[half:]
 
-	ctx := context.Background()
+	ctx := l.Context()
 	res1, err := m.MatchAll(ctx, w1)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,20 @@
+package forum
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// DigestJSONL returns the SHA-256 of the dataset's canonical JSONL
+// serialisation (WriteJSONL's alias-by-alias, message-by-message order).
+// Two datasets digest equal iff they serialise byte-identically, which is
+// what run manifests pin so a reproduction can prove it ran on the same
+// corpus.
+func DigestJSONL(d *Dataset) (string, error) {
+	h := sha256.New()
+	if err := WriteJSONL(h, d); err != nil {
+		return "", fmt.Errorf("forum: digest: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

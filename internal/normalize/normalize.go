@@ -35,6 +35,7 @@
 package normalize
 
 import (
+	"context"
 	"fmt"
 	"net/url"
 	"regexp"
@@ -44,7 +45,23 @@ import (
 
 	"darklight/internal/forum"
 	"darklight/internal/langdetect"
+	"darklight/internal/obs"
 	"darklight/internal/tokenize"
+)
+
+// Pipeline metrics. Values are derived from the merged Report counters —
+// plain integer sums identical for any worker count — so the exposed
+// series match sequential runs exactly.
+var (
+	mPolishRuns   = obs.Default().Counter("polish_runs_total", "completed polish pipeline runs")
+	mStepAliases  = obs.Default().CounterVec("polish_step_aliases_removed_total", "aliases removed per polish step", "step")
+	mStepRemoved  = obs.Default().CounterVec("polish_step_messages_removed_total", "messages removed per polish step", "step")
+	mStepModified = obs.Default().CounterVec("polish_step_messages_modified_total", "messages modified per polish step", "step")
+	mStepBytesIn  = obs.Default().CounterVec("polish_step_bytes_in_total", "message-body bytes entering each polish step", "step")
+	mStepBytesOut = obs.Default().CounterVec("polish_step_bytes_out_total", "message-body bytes surviving each polish step", "step")
+	mLangdetect   = obs.Default().CounterVec("polish_langdetect_messages_total", "messages classified by the language detector (english-only step)", "result")
+	mLangEnglish  = mLangdetect.With("english")
+	mLangRejected = mLangdetect.With("rejected")
 )
 
 // Defaults for the paper's thresholds.
@@ -83,20 +100,25 @@ type Report struct {
 	Steps []StepReport
 }
 
-// StepReport describes what one step changed.
+// StepReport describes what one step changed. BytesIn/BytesOut are the
+// message-body bytes entering and surviving the step — the per-step byte
+// deltas the polish metrics export. Both are integer sums over aliases,
+// so the parallel merge reproduces them exactly.
 type StepReport struct {
 	Name             string
 	AliasesRemoved   int
 	MessagesRemoved  int
 	MessagesModified int
+	BytesIn          int64
+	BytesOut         int64
 }
 
 // String renders a compact human-readable summary.
 func (r *Report) String() string {
 	var b strings.Builder
 	for _, s := range r.Steps {
-		fmt.Fprintf(&b, "%-18s aliases-removed=%-5d messages-removed=%-6d modified=%d\n",
-			s.Name, s.AliasesRemoved, s.MessagesRemoved, s.MessagesModified)
+		fmt.Fprintf(&b, "%-18s aliases-removed=%-5d messages-removed=%-6d modified=%-5d bytes=%d->%d\n",
+			s.Name, s.AliasesRemoved, s.MessagesRemoved, s.MessagesModified, s.BytesIn, s.BytesOut)
 	}
 	return b.String()
 }
@@ -170,6 +192,20 @@ func (p *Pipeline) Steps() []string {
 // With more than one worker the aliases fan out over a worker pool; the
 // result is bit-identical to the sequential run (see the package comment).
 func (p *Pipeline) Run(d *forum.Dataset) *Report {
+	return p.RunContext(context.Background(), d)
+}
+
+// RunContext is Run under a context that may carry an obs.Tracer. With
+// tracing enabled the run emits a "polish" root span; sequential runs nest
+// one "polish.step.<name>" span per step, parallel runs nest one
+// "polish.worker" span per worker. The dataset, the report — including the
+// byte deltas — and every exported metric are bit-identical with tracing
+// on or off, and for any worker count.
+func (p *Pipeline) RunContext(ctx context.Context, d *forum.Dataset) *Report {
+	ctx, root := obs.Start(ctx, "polish")
+	defer root.End()
+	root.AddItems(int64(d.Len()))
+
 	workers := p.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -179,19 +215,60 @@ func (p *Pipeline) Run(d *forum.Dataset) *Report {
 	}
 	var r *Report
 	if workers > 1 && p.perAliasCapable() {
-		r = p.runParallel(d, workers)
+		r = p.runParallel(ctx, d, workers)
 	} else {
 		r = &Report{}
 		for _, s := range p.steps {
+			_, sp := obs.Start(ctx, "polish.step."+s.Name)
 			s.Apply(d, r)
+			if n := len(r.Steps); n > 0 {
+				sr := &r.Steps[n-1]
+				sp.AddItems(int64(sr.MessagesRemoved + sr.MessagesModified))
+				sp.AddBytes(sr.BytesIn - sr.BytesOut)
+			}
+			sp.End()
 		}
 	}
-	// Final sweep: drop aliases that lost all messages.
+	// Final sweep: drop aliases that lost all messages (they carry zero
+	// bytes, so BytesIn == BytesOut == the surviving corpus size).
 	before := d.Len()
+	bytes := datasetBytes(d)
 	kept := d.Filter(func(a *forum.Alias) bool { return len(a.Messages) > 0 })
 	d.Aliases = kept.Aliases
-	r.add(StepReport{Name: "drop-empty-aliases", AliasesRemoved: before - d.Len()})
+	r.add(StepReport{Name: "drop-empty-aliases", AliasesRemoved: before - d.Len(), BytesIn: bytes, BytesOut: bytes})
+	exportReport(r)
 	return r
+}
+
+// exportReport folds the merged report into the polish metrics.
+func exportReport(r *Report) {
+	for i := range r.Steps {
+		s := &r.Steps[i]
+		mStepAliases.With(s.Name).Add(int64(s.AliasesRemoved))
+		mStepRemoved.With(s.Name).Add(int64(s.MessagesRemoved))
+		mStepModified.With(s.Name).Add(int64(s.MessagesModified))
+		mStepBytesIn.With(s.Name).Add(s.BytesIn)
+		mStepBytesOut.With(s.Name).Add(s.BytesOut)
+	}
+	mPolishRuns.Inc()
+}
+
+// aliasBytes sums one alias's message-body bytes.
+func aliasBytes(a *forum.Alias) int64 {
+	var n int64
+	for i := range a.Messages {
+		n += int64(len(a.Messages[i].Body))
+	}
+	return n
+}
+
+// datasetBytes sums every alias's message-body bytes.
+func datasetBytes(d *forum.Dataset) int64 {
+	var n int64
+	for i := range d.Aliases {
+		n += aliasBytes(&d.Aliases[i])
+	}
+	return n
 }
 
 // perAliasCapable reports whether every step carries the alias-local form
@@ -209,25 +286,35 @@ func (p *Pipeline) perAliasCapable() bool {
 // the full step chain alias by alias into a private per-step counter block;
 // blocks merge by integer summation in step order, and dropped aliases are
 // compacted in input order — both bit-identical to the sequential run.
-func (p *Pipeline) runParallel(d *forum.Dataset, workers int) *Report {
+func (p *Pipeline) runParallel(ctx context.Context, d *forum.Dataset, workers int) *Report {
 	n := d.Len()
 	accs := make([][]StepReport, workers)
 	dropped := make([]bool, n)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		w := w
 		acc := make([]StepReport, len(p.steps))
 		accs[w] = acc
 		lo, hi := w*n/workers, (w+1)*n/workers
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			_, sp := obs.Start(ctx, "polish.worker")
+			sp.SetWorker(w)
+			sp.AddItems(int64(hi - lo))
+			defer sp.End()
 			for i := lo; i < hi; i++ {
 				a := &d.Aliases[i]
 				for si := range p.steps {
+					// Per-alias byte accounting, computed exactly as the
+					// sequential applyPerAlias does, so the merged sums match
+					// bit for bit.
+					acc[si].BytesIn += aliasBytes(a)
 					if p.steps[si].applyAlias(a, &acc[si]) {
 						dropped[i] = true
 						break
 					}
+					acc[si].BytesOut += aliasBytes(a)
 				}
 			}
 		}()
@@ -241,6 +328,8 @@ func (p *Pipeline) runParallel(d *forum.Dataset, workers int) *Report {
 			m.AliasesRemoved += accs[w][si].AliasesRemoved
 			m.MessagesRemoved += accs[w][si].MessagesRemoved
 			m.MessagesModified += accs[w][si].MessagesModified
+			m.BytesIn += accs[w][si].BytesIn
+			m.BytesOut += accs[w][si].BytesOut
 		}
 	}
 	kept := d.Aliases[:0]
@@ -260,9 +349,12 @@ func applyPerAlias(name string, fn func(*forum.Alias, *StepReport) bool, d *foru
 	sr := StepReport{Name: name}
 	kept := d.Aliases[:0]
 	for i := range d.Aliases {
-		if fn(&d.Aliases[i], &sr) {
+		a := &d.Aliases[i]
+		sr.BytesIn += aliasBytes(a)
+		if fn(a, &sr) {
 			continue
 		}
+		sr.BytesOut += aliasBytes(a)
 		kept = append(kept, d.Aliases[i])
 	}
 	d.Aliases = kept
@@ -418,8 +510,10 @@ func (p *Pipeline) englishOnlyAlias(a *forum.Alias, sr *StepReport) bool {
 	for _, m := range a.Messages {
 		if !p.detector.IsEnglish(m.Body, MinEnglishProb) {
 			sr.MessagesRemoved++
+			mLangRejected.Inc()
 			continue
 		}
+		mLangEnglish.Inc()
 		kept = append(kept, m)
 	}
 	a.Messages = kept

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusExposition pins the full text-format rendering: family
+// ordering, series ordering by label tuple, label-value escaping, and the
+// cumulative histogram layout with the implicit +Inf bucket. The expected
+// block is a golden string — any formatting drift is a breaking change for
+// scrapers and must be deliberate.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+
+	// Registered out of name order on purpose; exposition must sort.
+	g := r.Gauge("zz_gauge", "a gauge")
+	g.Set(2.5)
+
+	c := r.Counter("aa_total", "plain counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // monotonic: ignored
+
+	v := r.CounterVec("mid_total", "labelled counter", "class")
+	v.With("b").Add(2)
+	v.With("a").Inc()
+	v.With(`weird\value"with` + "\n" + `newline`).Inc()
+
+	h := r.Histogram("hist_seconds", "a histogram", []float64{0.1, 1, 10})
+	h.Observe(0.05) // le 0.1
+	h.Observe(0.5)  // le 1
+	h.Observe(5)    // le 10
+	h.Observe(100)  // +Inf only
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_total plain counter
+# TYPE aa_total counter
+aa_total 5
+# HELP hist_seconds a histogram
+# TYPE hist_seconds histogram
+hist_seconds_bucket{le="0.1"} 1
+hist_seconds_bucket{le="1"} 2
+hist_seconds_bucket{le="10"} 3
+hist_seconds_bucket{le="+Inf"} 4
+hist_seconds_sum 105.55
+hist_seconds_count 4
+# HELP mid_total labelled counter
+# TYPE mid_total counter
+mid_total{class="a"} 1
+mid_total{class="b"} 2
+mid_total{class="weird\\value\"with\nnewline"} 1
+# HELP zz_gauge a gauge
+# TYPE zz_gauge gauge
+zz_gauge 2.5
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramBuckets checks le semantics (a value equal to a bound lands
+// in that bound's bucket) and the cumulative counts in snapshots.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2})
+	h.Observe(1) // exactly on the first bound → le="1"
+	h.Observe(2) // le="2"
+	h.Observe(3) // +Inf
+
+	snap := r.Snapshot()
+	if len(snap) != 1 || len(snap[0].Series) != 1 {
+		t.Fatalf("unexpected snapshot shape: %+v", snap)
+	}
+	s := snap[0].Series[0]
+	want := []Bucket{{"1", 1}, {"2", 2}, {"+Inf", 3}}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("got %d buckets, want %d", len(s.Buckets), len(want))
+	}
+	for i, b := range s.Buckets {
+		if b != want[i] {
+			t.Errorf("bucket %d: got %+v, want %+v", i, b, want[i])
+		}
+	}
+	if s.Count != 3 || s.Value != 6 {
+		t.Errorf("count=%d sum=%v, want 3 and 6", s.Count, s.Value)
+	}
+}
+
+// TestIdempotentRegistration verifies that re-registering an identical
+// schema returns the same underlying metric, and that conflicting schemas
+// panic.
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "help")
+	b := r.Counter("c_total", "help")
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("re-registration returned a different counter")
+	}
+
+	mustPanic(t, "type conflict", func() { r.Gauge("c_total", "help") })
+	r.CounterVec("cv_total", "", "x")
+	mustPanic(t, "label conflict", func() { r.CounterVec("cv_total", "", "y") })
+	r.Histogram("h", "", []float64{1, 2})
+	mustPanic(t, "bucket conflict", func() { r.Histogram("h", "", []float64{1, 3}) })
+	mustPanic(t, "bad name", func() { r.Counter("has space", "") })
+	mustPanic(t, "wrong label arity", func() { r.CounterVec("cv_total", "", "x").With("a", "b") })
+	mustPanic(t, "unsorted buckets", func() { r.Histogram("h2", "", []float64{2, 1}) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestSnapshotDeterminism: two registries fed the same events in different
+// orders expose byte-identical text.
+func TestSnapshotDeterminism(t *testing.T) {
+	build := func(order []string) string {
+		r := NewRegistry()
+		v := r.CounterVec("events_total", "", "kind")
+		for _, k := range order {
+			v.With(k).Inc()
+		}
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	x := build([]string{"c", "a", "b", "a"})
+	y := build([]string{"a", "b", "a", "c"})
+	if x != y {
+		t.Errorf("exposition depends on event order:\n%s\nvs\n%s", x, y)
+	}
+}

@@ -1,0 +1,41 @@
+// Package obs is the pipeline's observability layer: a typed metrics
+// registry (counters, gauges, fixed-bucket histograms with Prometheus
+// text-format and JSON exposition), a hierarchical span tracer, and the
+// per-run manifest artifact (run.json) that makes a table reproduction
+// auditable.
+//
+// The layer is built stdlib-only and designed around one invariant: the
+// pipeline's *output* must be bit-identical with telemetry on or off.
+// Three rules follow:
+//
+//   - Metric values are derived from counts (messages, postings, retries,
+//     bytes), never from wall time, so a metric snapshot embedded in a
+//     manifest is reproducible. Durations live exclusively in spans, which
+//     are timings by definition and never feed back into pipeline output.
+//   - Tracing degrades to zero-cost no-ops: obs.Start on a context without
+//     a Tracer returns the context unchanged and a nil *Span, and every
+//     Span method is nil-safe, so uninstrumented runs pay one pointer
+//     context lookup per stage — not per item.
+//   - internal/obs is the only non-I/O package on the darklint wallclock
+//     allowlist: span start/end timestamps are the sanctioned timing
+//     call-sites, and nothing in this package lets a caller read them back
+//     into pipeline code (spans expose durations only at export time).
+//
+// Counters and gauges are registered once at package init of the
+// instrumented package and shared process-wide via Default(); tests that
+// need isolation construct their own Registry.
+package obs
+
+import "sync"
+
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the process-wide registry the pipeline's instrumented
+// packages register their metrics on.
+func Default() *Registry {
+	defaultOnce.Do(func() { defaultReg = NewRegistry() })
+	return defaultReg
+}

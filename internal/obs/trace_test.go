@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSpanNesting verifies that spans started under a parent context nest
+// under that parent, and siblings started from the same context become
+// siblings in the exported tree.
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+
+	rctx, root := Start(ctx, "pipeline")
+	_, a := Start(rctx, "stage.a")
+	a.AddItems(3)
+	a.AddBytes(10)
+	a.End()
+	bctx, b := Start(rctx, "stage.b")
+	_, inner := Start(bctx, "stage.b.inner")
+	inner.End()
+	b.End()
+	root.End()
+
+	forest := tr.Snapshot()
+	if len(forest) != 1 {
+		t.Fatalf("got %d roots, want 1", len(forest))
+	}
+	r := forest[0]
+	if r.Name != "pipeline" || len(r.Children) != 2 {
+		t.Fatalf("root = %q with %d children, want pipeline with 2", r.Name, len(r.Children))
+	}
+	if r.Children[0].Name != "stage.a" || r.Children[1].Name != "stage.b" {
+		t.Errorf("children = %q, %q", r.Children[0].Name, r.Children[1].Name)
+	}
+	if got := r.Children[0]; got.Items != 3 || got.Bytes != 10 {
+		t.Errorf("stage.a items=%d bytes=%d, want 3 and 10", got.Items, got.Bytes)
+	}
+	if len(r.Children[1].Children) != 1 || r.Children[1].Children[0].Name != "stage.b.inner" {
+		t.Errorf("stage.b subtree wrong: %+v", r.Children[1])
+	}
+	if r.DurNS <= 0 {
+		t.Error("ended root span has zero duration")
+	}
+}
+
+// TestConcurrentChildren starts many children of one parent from parallel
+// goroutines; run under -race this doubles as the tracer's race test.
+func TestConcurrentChildren(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	pctx, parent := Start(ctx, "fanout")
+
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, s := Start(pctx, "fanout.worker")
+			s.SetWorker(w)
+			s.AddItems(1)
+			parent.AddItems(1)
+			s.End()
+		}(w)
+	}
+	wg.Wait()
+	parent.End()
+
+	forest := tr.Snapshot()
+	if len(forest) != 1 || len(forest[0].Children) != workers {
+		t.Fatalf("got %d roots / %d children, want 1 / %d", len(forest), len(forest[0].Children), workers)
+	}
+	if forest[0].Items != workers {
+		t.Errorf("parent items=%d, want %d", forest[0].Items, workers)
+	}
+	st := tr.Stages()
+	if len(st) != 2 {
+		t.Fatalf("got %d stages, want 2: %+v", len(st), st)
+	}
+	// Stages sort by name: "fanout" < "fanout.worker".
+	if st[0].Name != "fanout" || st[0].Count != 1 {
+		t.Errorf("stage 0 = %+v", st[0])
+	}
+	if st[1].Name != "fanout.worker" || st[1].Count != workers || st[1].Items != workers {
+		t.Errorf("stage 1 = %+v", st[1])
+	}
+}
+
+// TestDisabledTracingIsNilSafe: without a tracer on the context, Start
+// returns an unchanged context and a nil span whose every method is a
+// no-op — the zero-cost disabled contract the pipeline relies on.
+func TestDisabledTracingIsNilSafe(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := Start(ctx, "anything")
+	if ctx2 != ctx {
+		t.Error("Start without a tracer should return the context unchanged")
+	}
+	if s != nil {
+		t.Fatal("Start without a tracer should return a nil span")
+	}
+	// All of these must not panic on the nil receiver.
+	s.End()
+	s.AddItems(5)
+	s.AddBytes(5)
+	s.SetAttr("k", "v")
+	s.SetWorker(3)
+	if TracerFrom(ctx) != nil {
+		t.Error("TracerFrom on a bare context should be nil")
+	}
+}
+
+// TestWriteJSONL checks the trace export: depth-first ids, parent links,
+// and one valid JSON object per line.
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	rctx, root := Start(ctx, "root")
+	_, c1 := Start(rctx, "child1")
+	c1.End()
+	_, c2 := Start(rctx, "child2")
+	c2.SetAttr("k", "v")
+	c2.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	type line struct {
+		ID     int               `json:"id"`
+		Parent int               `json:"parent"`
+		Name   string            `json:"name"`
+		Attrs  map[string]string `json:"attrs"`
+	}
+	var ls []line
+	for _, raw := range lines {
+		var l line
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", raw, err)
+		}
+		ls = append(ls, l)
+	}
+	if ls[0].Name != "root" || ls[0].ID != 1 || ls[0].Parent != 0 {
+		t.Errorf("line 0 = %+v", ls[0])
+	}
+	if ls[1].Name != "child1" || ls[1].Parent != 1 {
+		t.Errorf("line 1 = %+v", ls[1])
+	}
+	if ls[2].Name != "child2" || ls[2].Parent != 1 || ls[2].Attrs["k"] != "v" {
+		t.Errorf("line 2 = %+v", ls[2])
+	}
+
+	tr.Reset()
+	if got := tr.Snapshot(); len(got) != 0 {
+		t.Errorf("Reset left %d roots", len(got))
+	}
+}

@@ -40,6 +40,9 @@ func (s *Scraper) openCheckpoint() (map[string][]forum.Message, func(), error) {
 			return nil, func() {}, err
 		}
 	}
+	if clean.Len() != len(raw) {
+		mCkptCompact.Inc()
+	}
 	if err := os.WriteFile(s.opts.CheckpointPath, clean.Bytes(), 0o644); err != nil {
 		return nil, func() {}, fmt.Errorf("scraper: checkpoint %s: %w", s.opts.CheckpointPath, err)
 	}
@@ -71,5 +74,7 @@ func (s *Scraper) appendCheckpoint(thread string, posts []forum.Message) {
 	rec := forum.ThreadRecord{Thread: thread, Messages: posts}
 	if err := forum.WriteThreadRecord(s.ckpt, &rec); err != nil {
 		s.logf("checkpoint append failed for thread %q: %v", thread, err)
+		return
 	}
+	mCkptAppends.Inc()
 }

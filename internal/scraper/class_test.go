@@ -1,0 +1,105 @@
+package scraper
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"darklight/internal/darkweb"
+	"darklight/internal/obs"
+)
+
+// failuresByClass reads the current scraper_failures_total series from the
+// default registry, keyed by class label.
+func failuresByClass(t *testing.T) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, fam := range obs.Default().Snapshot() {
+		if fam.Name != "scraper_failures_total" {
+			continue
+		}
+		for _, s := range fam.Series {
+			out[s.Labels["class"]] = s.Value
+		}
+	}
+	return out
+}
+
+// TestFailureClassTagging pins the satellite contract from ISSUE 5: every
+// CrawlError carries the retry class it failed with, and the
+// scraper_failures_total{class} counters advance by exactly the classes
+// Errors() reports — the two views can never disagree because both derive
+// from the same errors.Is check at record time.
+func TestFailureClassTagging(t *testing.T) {
+	original := sampleDataset() // threads t0, t1, t2 on board garden
+	srv := darkweb.NewServer(original.Name, original, darkweb.Options{})
+	inner := srv.Handler()
+	poisoned := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/thread/t1":
+			http.NotFound(w, r) // permanent: fails fast, no retries
+		case "/thread/t2":
+			http.Error(w, "flaky", http.StatusInternalServerError) // transient: retried until exhausted
+		default:
+			inner.ServeHTTP(w, r)
+		}
+	})
+	ts := httptest.NewServer(poisoned)
+	t.Cleanup(ts.Close)
+
+	before := failuresByClass(t)
+
+	sc := New(ts.URL, Options{MaxRetries: 2, BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond})
+	if _, err := sc.Scrape(context.Background(), "tagged", original.Platform); err != nil {
+		t.Fatalf("partial failures must not abort the crawl: %v", err)
+	}
+
+	errs := sc.Errors()
+	if len(errs) != 2 {
+		t.Fatalf("got %d crawl errors, want 2: %v", len(errs), errs)
+	}
+	gotClasses := make(map[string]string) // thread -> class
+	for _, ce := range errs {
+		gotClasses[ce.Thread] = ce.Class
+		// The class must agree with the sentinel wrapped in the error.
+		switch {
+		case errors.Is(ce.Err, errPermanent):
+			if ce.Class != ClassPermanent {
+				t.Errorf("thread %s: class %q but error is permanent", ce.Thread, ce.Class)
+			}
+		case errors.Is(ce.Err, errGiveUp):
+			if ce.Class != ClassTransientExhausted {
+				t.Errorf("thread %s: class %q but error is transient-exhausted", ce.Thread, ce.Class)
+			}
+		}
+	}
+	if gotClasses["t1"] != ClassPermanent {
+		t.Errorf("t1 class = %q, want %q", gotClasses["t1"], ClassPermanent)
+	}
+	if gotClasses["t2"] != ClassTransientExhausted {
+		t.Errorf("t2 class = %q, want %q", gotClasses["t2"], ClassTransientExhausted)
+	}
+
+	// The String() rendering surfaces the class for operators.
+	for _, ce := range errs {
+		if got := ce.String(); !strings.Contains(got, "["+ce.Class+"]") {
+			t.Errorf("CrawlError.String() = %q, want the [%s] tag", got, ce.Class)
+		}
+	}
+
+	// Metric deltas must match the per-class tally from Errors() exactly.
+	after := failuresByClass(t)
+	wantDelta := map[string]float64{ClassPermanent: 1, ClassTransientExhausted: 1}
+	for class, want := range wantDelta {
+		if got := after[class] - before[class]; got != want {
+			t.Errorf("scraper_failures_total{class=%q} advanced by %v, want %v", class, got, want)
+		}
+	}
+	if got := after[ClassInternal] - before[ClassInternal]; got != 0 {
+		t.Errorf("scraper_failures_total{class=%q} advanced by %v, want 0", ClassInternal, got)
+	}
+}

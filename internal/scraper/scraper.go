@@ -25,6 +25,22 @@ import (
 	"time"
 
 	"darklight/internal/forum"
+	"darklight/internal/obs"
+)
+
+// Crawl metrics. Requests, retries, and failures are event counts; the
+// backoff histogram observes the computed delay — the retry policy's
+// output, never a measured wait — so a replayed fault sequence exposes
+// identical series.
+var (
+	mRequests    = obs.Default().Counter("scraper_requests_total", "HTTP requests issued")
+	mRetries     = obs.Default().CounterVec("scraper_retries_total", "retry attempts by cause class", "class")
+	mFailures    = obs.Default().CounterVec("scraper_failures_total", "crawl units abandoned, by failure class", "class")
+	mBackoff     = obs.Default().Histogram("scraper_backoff_seconds", "computed backoff delays before each retry", []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30})
+	mRetryAfter  = obs.Default().Counter("scraper_retry_after_total", "backoff delays dictated by a Retry-After header")
+	mResumed     = obs.Default().Counter("scraper_threads_resumed_total", "threads restored from the checkpoint journal")
+	mCkptAppends = obs.Default().Counter("scraper_checkpoint_appends_total", "thread records appended to the checkpoint journal")
+	mCkptCompact = obs.Default().Counter("scraper_checkpoint_compactions_total", "journal rewrites that dropped a torn trailing record")
 )
 
 // NoRetries configures Options.MaxRetries for zero retry attempts (the
@@ -105,6 +121,30 @@ type Stats struct {
 	Failed int
 }
 
+// Failure classes for CrawlError.Class and scraper_failures_total.
+const (
+	// ClassTransientExhausted marks a unit abandoned after the retry
+	// policy ran out of attempts on transient failures (5xx, 408, 429,
+	// network errors).
+	ClassTransientExhausted = "transient-exhausted"
+	// ClassPermanent marks a unit that failed fast on a non-retryable 4xx.
+	ClassPermanent = "permanent"
+	// ClassInternal marks everything else (malformed pages, parse errors).
+	ClassInternal = "internal"
+)
+
+// classOf derives a CrawlError's class from its wrapped sentinel.
+func classOf(err error) string {
+	switch {
+	case errors.Is(err, errGiveUp):
+		return ClassTransientExhausted
+	case errors.Is(err, errPermanent):
+		return ClassPermanent
+	default:
+		return ClassInternal
+	}
+}
+
 // CrawlError records one crawl unit that was abandoned after the retry
 // policy gave up. Exactly one of Board/Thread is set: Board for a board
 // whose thread listing could not be fetched, Thread for a thread whose
@@ -112,14 +152,23 @@ type Stats struct {
 type CrawlError struct {
 	Board  string
 	Thread string
-	Err    error
+	// Class distinguishes how the unit failed — ClassTransientExhausted,
+	// ClassPermanent, or ClassInternal. It is derived from Err when the
+	// error is recorded, so Errors() and scraper_failures_total{class}
+	// always agree.
+	Class string
+	Err   error
 }
 
 func (e CrawlError) String() string {
-	if e.Board != "" {
-		return fmt.Sprintf("board %q: %v", e.Board, e.Err)
+	class := e.Class
+	if class == "" {
+		class = classOf(e.Err)
 	}
-	return fmt.Sprintf("thread %q: %v", e.Thread, e.Err)
+	if e.Board != "" {
+		return fmt.Sprintf("board %q [%s]: %v", e.Board, class, e.Err)
+	}
+	return fmt.Sprintf("thread %q [%s]: %v", e.Thread, class, e.Err)
 }
 
 // Scraper crawls one forum base URL. The exported methods are safe for
@@ -184,6 +233,8 @@ func (s *Scraper) Errors() []CrawlError {
 // cancelled; a cancelled crawl leaves its checkpoint journal behind for
 // the next run to resume from.
 func (s *Scraper) Scrape(ctx context.Context, name string, platform forum.Platform) (*forum.Dataset, error) {
+	ctx, root := obs.Start(ctx, "scrape")
+	defer root.End()
 	s.mu.Lock()
 	s.stats = Stats{}
 	s.errs = nil
@@ -243,15 +294,21 @@ func (s *Scraper) Scrape(ctx context.Context, name string, platform forum.Platfo
 	// the deterministic listing order, so the assembled dataset is
 	// identical whatever order workers finish in — and identical whether
 	// a thread was fetched now or restored from the checkpoint.
+	root.AddItems(int64(len(threads)))
 	byThread := make([][]forum.Message, len(threads))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < s.opts.Workers; w++ {
+		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wctx, wsp := obs.Start(ctx, "scrape.worker")
+			wsp.SetWorker(w)
+			defer wsp.End()
 			for i := range jobs {
-				s.crawlThread(ctx, threads[i], done, &byThread[i])
+				s.crawlThread(wctx, threads[i], done, &byThread[i])
+				wsp.AddItems(1)
 			}
 		}()
 	}
@@ -295,6 +352,7 @@ feed:
 func (s *Scraper) crawlThread(ctx context.Context, thread string, done map[string][]forum.Message, out *[]forum.Message) {
 	if posts, ok := done[thread]; ok {
 		*out = posts
+		mResumed.Inc()
 		s.mu.Lock()
 		s.stats.Resumed++
 		s.mu.Unlock()
@@ -312,6 +370,8 @@ func (s *Scraper) crawlThread(ctx context.Context, thread string, done map[strin
 }
 
 func (s *Scraper) recordError(ce CrawlError) {
+	ce.Class = classOf(ce.Err)
+	mFailures.With(ce.Class).Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.errs = append(s.errs, ce)
@@ -453,6 +513,25 @@ func (s *Scraper) fetch(ctx context.Context, rawURL string) (string, error) {
 			return "", fmt.Errorf("%w: %s: %v", errGiveUp, rawURL, err)
 		}
 		delay = s.backoff(attempt, se)
+		mRetries.With(retryClass(se)).Inc()
+		mBackoff.Observe(delay.Seconds())
+		if se != nil && se.retryAfter > 0 {
+			mRetryAfter.Inc()
+		}
+	}
+}
+
+// retryClass names the cause of one retry for scraper_retries_total.
+func retryClass(se *statusError) string {
+	switch {
+	case se == nil:
+		return "network"
+	case se.code == http.StatusRequestTimeout:
+		return "408"
+	case se.code == http.StatusTooManyRequests:
+		return "429"
+	default:
+		return "5xx"
 	}
 }
 
@@ -517,6 +596,7 @@ func (s *Scraper) get(ctx context.Context, rawURL string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	mRequests.Inc()
 	s.mu.Lock()
 	s.stats.Requests++
 	s.mu.Unlock()
