@@ -1,0 +1,235 @@
+// Command attributed serves alias attribution as a long-lived daemon: it
+// loads (or generates) a corpus once, indexes it, and answers concurrent
+// /v1/rank, /v1/rescore, and /v1/match queries over HTTP JSON — the
+// serving-system counterpart of the one-shot cmd/darklight batch CLI.
+//
+// Usage:
+//
+//	attributed -listen :8787 -known main.jsonl [-query ae.jsonl] [-api-keys k1,k2] [-rate 50 -burst 100]
+//	attributed -listen :8787 -forum reddit -scale 0.02 -seed 1
+//
+// With -known, the known dataset is loaded from JSONL (polished and
+// refined unless -polish=false / -refine=false) and indexed; -query
+// optionally loads a second dataset that by-alias requests resolve
+// against. Without -known, a synthetic world is generated and split into
+// (main, alter-ego) halves: main is indexed, the alter egos become the
+// query corpus — a self-contained demo where every query has a true match.
+//
+// Signals: SIGHUP reloads the corpus from its source and swaps the index
+// atomically (in-flight queries finish on the old index); SIGTERM/SIGINT
+// stop accepting connections, drain in-flight requests up to -drain, and
+// exit. /metrics, /debug/vars, and /debug/pprof are mounted beside the
+// API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"darklight"
+	"darklight/internal/forum"
+	"darklight/internal/obs"
+	"darklight/internal/serve"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:8787", "listen address")
+		known   = flag.String("known", "", "known dataset JSONL to index (empty: generate a synthetic world)")
+		query   = flag.String("query", "", "optional query dataset JSONL for by-alias requests (default: the known set)")
+		forumW  = flag.String("forum", "reddit", "synthetic world forum: reddit, tmg, or dm")
+		scale   = flag.Float64("scale", 0.02, "synthetic population scale")
+		seed    = flag.Uint64("seed", 1, "synthetic generator seed")
+		polish  = flag.Bool("polish", true, "run the §III-C cleaning pipeline on loaded datasets")
+		refine  = flag.Bool("refine", true, "drop aliases below the §IV-D thresholds before indexing")
+		thresh  = flag.Float64("threshold", darklight.DefaultThreshold, "acceptance threshold")
+		k       = flag.Int("k", darklight.DefaultK, "stage-1 candidate-set size")
+		budget  = flag.Int("budget", darklight.DefaultWordBudget, "per-alias word budget")
+		workers = flag.Int("workers", 0, "index-build parallelism (0: GOMAXPROCS)")
+		apiKeys = flag.String("api-keys", "", "comma-separated API keys; empty disables auth")
+		rate    = flag.Float64("rate", 0, "per-client requests/second (0: unlimited)")
+		burst   = flag.Int("burst", 20, "rate-limit burst size")
+		maxBody = flag.Int64("max-body", serve.DefaultMaxBody, "request body byte limit")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request handling deadline")
+		drain   = flag.Duration("drain", 15*time.Second, "SIGTERM drain deadline for in-flight requests")
+	)
+	flag.Parse()
+
+	pipe := darklight.NewPipeline(
+		darklight.WithThreshold(*thresh),
+		darklight.WithK(*k),
+		darklight.WithWordBudget(*budget),
+		darklight.WithWorkers(*workers),
+	)
+	loader := makeLoader(pipe, *known, *query, *forumW, *scale, *seed, *polish, *refine)
+
+	ctx := context.Background()
+	start := time.Now()
+	svc, err := serve.New(ctx, serve.Config{
+		Loader:     loader,
+		Options:    pipe.MatcherOptions(),
+		Subjects:   pipe.SubjectOptions(),
+		APIKeys:    splitKeys(*apiKeys),
+		RatePerSec: *rate,
+		Burst:      *burst,
+		MaxBody:    *maxBody,
+	})
+	if err != nil {
+		log.Fatalf("attributed: %v", err)
+	}
+	log.Printf("attributed: index v%d built in %s", svc.Version(), time.Since(start).Round(time.Millisecond))
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", svc.Handler())
+	obs.AttachDebug(mux, obs.Default())
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("attributed: %v", err)
+	}
+	server := &http.Server{
+		Handler:           http.TimeoutHandler(mux, *timeout, `{"error":{"code":"timeout","message":"request deadline exceeded","status":503}}`),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *timeout,
+		WriteTimeout:      *timeout + 5*time.Second,
+	}
+	go func() {
+		if err := server.Serve(ln); err != nil && err != http.ErrServerClosed && !isClosedListener(err) {
+			log.Fatalf("attributed: serve: %v", err)
+		}
+	}()
+	log.Printf("attributed: serving /v1/{rank,rescore,match,healthz} on http://%s", ln.Addr())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGTERM, os.Interrupt)
+	for sig := range sigs {
+		if sig == syscall.SIGHUP {
+			reloadStart := time.Now()
+			if err := svc.Reload(ctx); err != nil {
+				log.Printf("attributed: reload failed, keeping index v%d: %v", svc.Version(), err)
+				continue
+			}
+			log.Printf("attributed: reloaded index v%d in %s", svc.Version(), time.Since(reloadStart).Round(time.Millisecond))
+			continue
+		}
+		// SIGTERM/SIGINT: refuse new connections first, then drain.
+		log.Printf("attributed: %s received, draining (deadline %s)", sig, *drain)
+		//lint:ignore errdrop double-close on a dead listener is the only failure mode and the process is exiting
+		ln.Close()
+		if err := svc.Drain(*drain); err != nil {
+			log.Printf("attributed: %v", err)
+			//lint:ignore errdrop the process exits on the next line either way
+			server.Close()
+			os.Exit(1)
+		}
+		//lint:ignore errdrop in-flight requests are drained; nothing is left to fail
+		server.Close()
+		log.Printf("attributed: drained cleanly, exiting")
+		return
+	}
+}
+
+// isClosedListener matches the error Serve returns when the SIGTERM path
+// closes the listener out from under it.
+func isClosedListener(err error) bool {
+	return errors.Is(err, net.ErrClosed)
+}
+
+// splitKeys parses the -api-keys flag.
+func splitKeys(csv string) []string {
+	var keys []string
+	for _, k := range strings.Split(csv, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// makeLoader builds the corpus loader the service calls at startup and on
+// every SIGHUP. File-backed corpora re-read their JSONL sources; the
+// synthetic world regenerates from the same seed (a reload is then a
+// no-op refresh, which is exactly what you want for a demo daemon).
+func makeLoader(pipe *darklight.Pipeline, known, query, forumWhich string, scale float64, seed uint64, polish, refine bool) serve.Loader {
+	return func(ctx context.Context) (*serve.Corpus, error) {
+		if known == "" {
+			return loadSynthetic(ctx, pipe, forumWhich, scale, seed)
+		}
+		kds, err := prepareDataset(ctx, pipe, known, polish, refine)
+		if err != nil {
+			return nil, err
+		}
+		ks, err := pipe.Subjects(kds)
+		if err != nil {
+			return nil, err
+		}
+		c := &serve.Corpus{Known: ks}
+		if query != "" {
+			qds, err := prepareDataset(ctx, pipe, query, polish, false)
+			if err != nil {
+				return nil, err
+			}
+			if c.Query, err = pipe.Subjects(qds); err != nil {
+				return nil, err
+			}
+		}
+		return c, nil
+	}
+}
+
+// prepareDataset loads one JSONL dataset and optionally polishes/refines it.
+func prepareDataset(ctx context.Context, pipe *darklight.Pipeline, path string, polish, refine bool) (*darklight.Dataset, error) {
+	d, err := darklight.LoadJSONL(path, path, forum.PlatformSynthetic)
+	if err != nil {
+		return nil, err
+	}
+	if polish {
+		pipe.PolishContext(ctx, d)
+	}
+	if refine {
+		d = pipe.Refine(d)
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("attributed: %s: no aliases survive preparation", path)
+	}
+	return d, nil
+}
+
+// loadSynthetic generates a world and serves its (main, alter-ego) split.
+func loadSynthetic(ctx context.Context, pipe *darklight.Pipeline, which string, scale float64, seed uint64) (*serve.Corpus, error) {
+	world, err := darklight.GenerateWorld(darklight.WorldConfig{Seed: seed, Scale: scale})
+	if err != nil {
+		return nil, err
+	}
+	var d *darklight.Dataset
+	switch which {
+	case "reddit":
+		d = world.Reddit
+	case "tmg":
+		d = world.TMG
+	case "dm":
+		d = world.DM
+	default:
+		return nil, fmt.Errorf("attributed: unknown forum %q (want reddit, tmg, or dm)", which)
+	}
+	pipe.PolishContext(ctx, d)
+	mainDS, ae := pipe.SplitAlterEgos(pipe.Refine(d))
+	c := &serve.Corpus{}
+	if c.Known, err = pipe.Subjects(mainDS); err != nil {
+		return nil, err
+	}
+	if c.Query, err = pipe.Subjects(ae); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -10,6 +10,11 @@
 //   - obs: the telemetry overhead guard (BenchmarkMatchAll and
 //     BenchmarkIngestEndToEnd against their instrumented *Obs twins)
 //     → BENCH_obs.json
+//   - serve: the HTTP serving layer under closed-loop concurrent load
+//     (BenchmarkServeRank, BenchmarkServeMatch, BenchmarkServeMixed in
+//     ./internal/serve) → BENCH_serve.json. These benchmarks report a
+//     per-request tail latency as a `p99-ns` custom metric; `-maxp99`
+//     (a duration, e.g. 150ms; 0 disables) gates it.
 //
 // Run a suite once from the commit you are starting from and once after
 // your change:
@@ -42,6 +47,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Metrics is one phase's measurement of one benchmark (medians over the
@@ -50,7 +56,10 @@ type Metrics struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
-	Samples     int     `json:"samples"`
+	// P99Ns is the per-request p99 latency the serve benchmarks report
+	// through b.ReportMetric as "p99-ns"; zero for suites without it.
+	P99Ns   float64 `json:"p99_ns,omitempty"`
+	Samples int     `json:"samples"`
 }
 
 // Entry pairs the two phases of one benchmark.
@@ -73,12 +82,17 @@ type File struct {
 	Overheads map[string]float64 `json:"overheads,omitempty"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// benchName matches the leading "BenchmarkX-8" column; the metric columns
+// after it are free-form (value, unit) pairs parsed by parseLine, so custom
+// b.ReportMetric units like p99-ns survive alongside -benchmem's columns.
+var benchName = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?$`)
 
-// suite bundles a benchmark filter with the trajectory file it maintains.
+// suite bundles a benchmark filter with the trajectory file it maintains
+// and the package the benchmarks live in ("" means the module root).
 type suite struct {
 	pattern     string
 	out         string
+	pkg         string
 	description string
 }
 
@@ -98,17 +112,24 @@ var suites = map[string]suite{
 		out:         "BENCH_obs.json",
 		description: "Telemetry overhead trajectory: instrumented (tracing on, metrics live) vs uninstrumented runs of the two headline paths. Regenerate with `go run ./cmd/benchdiff -suite obs -phase before|after`; `overheads` holds (obs ÷ base) − 1 per pair, gated by -maxoverhead.",
 	},
+	"serve": {
+		pattern:     "^(BenchmarkServeRank|BenchmarkServeMatch|BenchmarkServeMixed)$",
+		out:         "BENCH_serve.json",
+		pkg:         "./internal/serve",
+		description: "Serving-layer load trajectory: closed-loop concurrent drivers through the full /v1 middleware + handler chain, with every response verified byte-identical to the sequential matcher. Regenerate with `go run ./cmd/benchdiff -suite serve -phase before|after`; `p99_ns` is the per-request tail latency, gated by -maxp99.",
+	},
 }
 
 func main() {
 	phase := flag.String("phase", "", "which side of the change this run measures: before | after")
 	count := flag.Int("count", 3, "benchmark sample count (median is recorded)")
-	suiteName := flag.String("suite", "matcher", "benchmark suite: matcher | ingest | obs")
+	suiteName := flag.String("suite", "matcher", "benchmark suite: matcher | ingest | obs | serve")
 	out := flag.String("out", "", "trajectory file to create or merge into (default: the suite's file)")
 	pattern := flag.String("bench", "", "benchmark selection pattern (default: the suite's filter)")
-	pkg := flag.String("pkg", ".", "package containing the benchmarks")
+	pkg := flag.String("pkg", "", "package containing the benchmarks (default: the suite's package)")
 	benchtime := flag.String("benchtime", "", "passed to go test -benchtime (e.g. 1x, 2s)")
 	maxOverhead := flag.Float64("maxoverhead", 3, "fail when an Obs twin costs more than this percent over its base (0 disables)")
+	maxP99 := flag.Duration("maxp99", 0, "fail when a benchmark's p99-ns metric exceeds this duration (0 disables)")
 	flag.Parse()
 	if *phase != "before" && *phase != "after" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -phase must be 'before' or 'after'")
@@ -117,7 +138,7 @@ func main() {
 	}
 	s, ok := suites[*suiteName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "benchdiff: unknown suite %q (want matcher, ingest, or obs)\n", *suiteName)
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown suite %q (want matcher, ingest, obs, or serve)\n", *suiteName)
 		os.Exit(2)
 	}
 	if *out == "" {
@@ -125,6 +146,12 @@ func main() {
 	}
 	if *pattern == "" {
 		*pattern = s.pattern
+	}
+	if *pkg == "" {
+		*pkg = s.pkg
+	}
+	if *pkg == "" {
+		*pkg = "."
 	}
 
 	args := []string{"test", "-run", "^$",
@@ -174,6 +201,7 @@ func main() {
 	}
 
 	overheadFailed := gateOverheads(f, *phase, *maxOverhead)
+	p99Failed := gateP99(f, *phase, *maxP99)
 
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
@@ -185,9 +213,34 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchdiff: recorded %q phase for %d benchmarks in %s\n", *phase, len(samples), *out)
-	if overheadFailed {
+	if overheadFailed || p99Failed {
 		os.Exit(1)
 	}
+}
+
+// gateP99 checks every benchmark that reported a p99-ns metric in the
+// current phase against the -maxp99 bound (0 disables the gate).
+func gateP99(f *File, phase string, maxP99 time.Duration) bool {
+	if maxP99 <= 0 {
+		return false
+	}
+	failed := false
+	for short, e := range f.Benchmarks {
+		m := e.Before
+		if phase == "after" {
+			m = e.After
+		}
+		if m == nil || m.P99Ns == 0 {
+			continue
+		}
+		p99 := time.Duration(m.P99Ns)
+		fmt.Fprintf(os.Stderr, "benchdiff: p99 latency on %s: %s\n", short, p99)
+		if m.P99Ns > float64(maxP99) {
+			fmt.Fprintf(os.Stderr, "benchdiff: FAIL: %s p99 %s exceeds the %s bound\n", short, p99, maxP99)
+			failed = true
+		}
+	}
+	return failed
 }
 
 // gateOverheads pairs every Benchmark<X>Obs with its Benchmark<X> base in
@@ -234,31 +287,51 @@ func parse(output string) (map[string][]Metrics, string) {
 			cpu = strings.TrimSpace(rest)
 			continue
 		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
+		name, s, ok := parseLine(line)
+		if !ok {
 			continue
 		}
-		var s Metrics
-		var err error
-		if s.NsPerOp, err = strconv.ParseFloat(m[2], 64); err != nil {
-			fmt.Fprintf(os.Stderr, "benchdiff: skipping malformed bench line: %s\n", line)
-			continue
-		}
-		if m[3] != "" {
-			if s.BytesPerOp, err = strconv.ParseFloat(m[3], 64); err != nil {
-				fmt.Fprintf(os.Stderr, "benchdiff: skipping malformed bench line: %s\n", line)
-				continue
-			}
-		}
-		if m[4] != "" {
-			if s.AllocsPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
-				fmt.Fprintf(os.Stderr, "benchdiff: skipping malformed bench line: %s\n", line)
-				continue
-			}
-		}
-		samples[m[1]] = append(samples[m[1]], s)
+		samples[name] = append(samples[name], s)
 	}
 	return samples, cpu
+}
+
+// parseLine parses one benchmark result line: the name column, the
+// iteration count, then (value, unit) metric pairs in any order — the
+// standard ns/op, B/op, allocs/op plus custom b.ReportMetric units like
+// p99-ns. Lines without an ns/op pair are not results.
+func parseLine(line string) (string, Metrics, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", Metrics{}, false
+	}
+	nm := benchName.FindStringSubmatch(fields[0])
+	if nm == nil {
+		return "", Metrics{}, false
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", Metrics{}, false
+	}
+	var s Metrics
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Metrics{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			s.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			s.BytesPerOp = v
+		case "allocs/op":
+			s.AllocsPerOp = v
+		case "p99-ns":
+			s.P99Ns = v
+		}
+	}
+	return nm[1], s, sawNs
 }
 
 // median takes the per-field median so one outlier run cannot skew the
@@ -280,6 +353,7 @@ func median(ms []Metrics) Metrics {
 		NsPerOp:     pick(func(m Metrics) float64 { return m.NsPerOp }),
 		BytesPerOp:  pick(func(m Metrics) float64 { return m.BytesPerOp }),
 		AllocsPerOp: pick(func(m Metrics) float64 { return m.AllocsPerOp }),
+		P99Ns:       pick(func(m Metrics) float64 { return m.P99Ns }),
 		Samples:     len(ms),
 	}
 }

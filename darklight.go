@@ -166,6 +166,25 @@ func NewPipeline(opts ...Option) *Pipeline {
 	return p
 }
 
+// MatcherOptions returns the attribution options the pipeline builds its
+// matchers with. The serving daemon (cmd/attributed, internal/serve)
+// passes these to its own matcher so served scores are bit-identical to
+// Pipeline.Link for the same corpus.
+func (p *Pipeline) MatcherOptions() attribution.Options { return p.opts }
+
+// SubjectOptions returns the subject-construction settings (word budget,
+// activity alignment, workers) behind Pipeline.Subjects. The serving
+// daemon uses them to build inline query subjects through exactly the
+// batch path.
+func (p *Pipeline) SubjectOptions() attribution.SubjectOptions {
+	return attribution.SubjectOptions{
+		WordBudget:   p.budget,
+		Activity:     p.actOpts,
+		WithActivity: p.opts.UseActivity,
+		Workers:      p.opts.Workers,
+	}
+}
+
 // Polish runs the 12-step §III-C cleaning pipeline in place and returns
 // the per-step report. The steps fan out over the pipeline's worker count;
 // the result is bit-identical for any setting.

@@ -1,0 +1,27 @@
+package serve
+
+import "time"
+
+// Clock abstracts wall time so every time-dependent piece of the serving
+// layer — rate-limit refill, latency observation, the drain timer — is
+// drivable by a deterministic fake in tests. Production code passes
+// SystemClock; nothing else in this package reads the wall clock.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the time after d has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// systemClock is the real wall clock.
+type systemClock struct{}
+
+func (systemClock) Now() time.Time {
+	//lint:ignore wallclock the serving loop is the one sanctioned reader: rate-limit refill, latency histograms, and the drain timer need real time in production; every other path takes the injected Clock
+	return time.Now()
+}
+
+func (systemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// SystemClock is the production Clock.
+var SystemClock Clock = systemClock{}

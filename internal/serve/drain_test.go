@@ -1,0 +1,155 @@
+package serve
+
+// Drain semantics, pinned with a deterministic fake clock and the
+// hookInflight test hook (which holds a request open inside the handler):
+//
+//   - in-flight requests complete with correct results after Drain begins
+//   - new requests are refused with the structured 503 "draining" envelope
+//   - healthz keeps answering 200 and reports the drain
+//   - Drain returns nil once the last request finishes, with no real sleeping
+//   - Drain returns ErrDrainTimeout when the fake clock crosses the deadline
+//     while a request is still held open
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"darklight/internal/attribution"
+)
+
+// holdFirstMatch arms svc so the first /v1/match request blocks inside the
+// handler (counted in-flight) until release is closed. entered is closed
+// once the request is holding.
+func holdFirstMatch(svc *Service) (entered, release chan struct{}) {
+	entered = make(chan struct{})
+	release = make(chan struct{})
+	var hits atomic.Int32
+	svc.hookInflight = func(endpoint string) {
+		if endpoint == "match" && hits.Add(1) == 1 {
+			close(entered)
+			<-release
+		}
+	}
+	return entered, release
+}
+
+// expectedMatchBody computes the correct version-1 /v1/match body for the
+// fixture query alias, sequentially, outside the service.
+func expectedMatchBody(t *testing.T, alias string) string {
+	t.Helper()
+	c := testCorpus(t)
+	m, err := attribution.NewMatcherContext(context.Background(), c.Known, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Query {
+		if c.Query[i].Name == alias {
+			res := m.Match(&c.Query[i])
+			return encodeBody(t, matchResponse(1, &res, testOptions().Threshold))
+		}
+	}
+	t.Fatalf("fixture has no query alias %q", alias)
+	return ""
+}
+
+func TestDrainGraceful(t *testing.T) {
+	clock := newFakeClock()
+	svc := newTestService(t, clock, nil)
+	h := svc.Handler()
+	entered, release := holdFirstMatch(svc)
+
+	// Hold one request open inside the handler.
+	inflightDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		inflightDone <- do(h, "POST", "/v1/match", "test-key", []byte(`{"subject":{"alias":"q_alice"}}`))
+	}()
+	<-entered
+
+	// Start the drain; it must block on the held request.
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- svc.Drain(time.Minute) }()
+	for !svc.Draining() {
+		runtime.Gosched()
+	}
+
+	// New API requests are refused with the draining envelope.
+	rec := do(h, "POST", "/v1/match", "test-key", []byte(`{"subject":{"alias":"q_dave"}}`))
+	if rec.Code != 503 {
+		t.Fatalf("request during drain: status %d, want 503 (body %s)", rec.Code, rec.Body.Bytes())
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env.Error == nil || env.Error.Code != CodeDraining {
+		t.Fatalf("request during drain: want %q envelope, got %s", CodeDraining, rec.Body.Bytes())
+	}
+
+	// healthz stays up and reports the drain.
+	hrec := do(h, "GET", "/v1/healthz", "", nil)
+	if hrec.Code != 200 {
+		t.Fatalf("healthz during drain: status %d", hrec.Code)
+	}
+	var hr HealthResponse
+	if err := json.Unmarshal(hrec.Body.Bytes(), &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "draining" || !hr.Draining {
+		t.Errorf("healthz during drain reported %+v", hr)
+	}
+
+	select {
+	case err := <-drainErr:
+		t.Fatalf("Drain returned %v with a request still in flight", err)
+	default:
+	}
+
+	// Release the held request: it must complete correctly, and Drain must
+	// then return nil without the clock ever advancing.
+	close(release)
+	got := <-inflightDone
+	if got.Code != 200 {
+		t.Fatalf("held request: status %d (body %s)", got.Code, got.Body.Bytes())
+	}
+	if want := expectedMatchBody(t, "q_alice"); got.Body.String() != want {
+		t.Errorf("held request completed with wrong body:\n got: %s\nwant: %s", got.Body.Bytes(), want)
+	}
+	if err := <-drainErr; err != nil {
+		t.Fatalf("Drain = %v, want nil", err)
+	}
+}
+
+func TestDrainTimeout(t *testing.T) {
+	clock := newFakeClock()
+	svc := newTestService(t, clock, nil)
+	h := svc.Handler()
+	entered, release := holdFirstMatch(svc)
+
+	inflightDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		inflightDone <- do(h, "POST", "/v1/match", "test-key", []byte(`{"subject":{"alias":"q_alice"}}`))
+	}()
+	<-entered
+
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- svc.Drain(5 * time.Second) }()
+	// Wait for Drain to arm its deadline timer, then cross it.
+	for clock.pending() == 0 {
+		runtime.Gosched()
+	}
+	clock.Advance(5 * time.Second)
+
+	if err := <-drainErr; !errors.Is(err, ErrDrainTimeout) {
+		t.Fatalf("Drain = %v, want ErrDrainTimeout", err)
+	}
+
+	// The abandoned request still finishes once released; drain timing out
+	// refuses to wait, it does not corrupt the handler.
+	close(release)
+	if got := <-inflightDone; got.Code != 200 {
+		t.Fatalf("released request: status %d (body %s)", got.Code, got.Body.Bytes())
+	}
+}

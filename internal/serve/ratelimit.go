@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token-bucket limiter. Each client (API key,
+// or remote host when auth is disabled) owns one bucket refilled at rate
+// tokens/second up to burst. Refill is computed from the injected Clock,
+// so the limiter is fully deterministic under a fake clock.
+type rateLimiter struct {
+	rate  float64 // tokens per second; <= 0 disables the limiter
+	burst float64
+	clock Clock
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter returns a limiter, or nil when rate <= 0 (unlimited).
+func newRateLimiter(rate float64, burst int, clock Clock) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		clock:   clock,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow consumes one token from key's bucket. When the bucket is empty it
+// reports false plus the wait until the next token accrues (the
+// Retry-After hint).
+func (l *rateLimiter) allow(key string) (bool, time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	now := l.clock.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
