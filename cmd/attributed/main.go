@@ -39,6 +39,7 @@ import (
 	"darklight"
 	"darklight/internal/forum"
 	"darklight/internal/obs"
+	"darklight/internal/prefilter"
 	"darklight/internal/serve"
 )
 
@@ -59,9 +60,12 @@ func main() {
 		apiKeys = flag.String("api-keys", "", "comma-separated API keys; empty disables auth")
 		rate    = flag.Float64("rate", 0, "per-client requests/second (0: unlimited)")
 		burst   = flag.Int("burst", 20, "rate-limit burst size")
-		maxBody = flag.Int64("max-body", serve.DefaultMaxBody, "request body byte limit")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-request handling deadline")
-		drain   = flag.Duration("drain", 15*time.Second, "SIGTERM drain deadline for in-flight requests")
+		maxBody  = flag.Int64("max-body", serve.DefaultMaxBody, "request body byte limit")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request handling deadline")
+		drain    = flag.Duration("drain", 15*time.Second, "SIGTERM drain deadline for in-flight requests")
+		preMode  = flag.String("prefilter", "", "default stage-1 candidate pre-filter: exact, pruned, or lsh (empty: pruned); /v1/rank requests may override per query")
+		lshBands = flag.Int("lsh-bands", 0, "MinHash-LSH band count (0: the built-in default)")
+		lshRows  = flag.Int("lsh-rows", 0, "MinHash rows per LSH band (0: the built-in default)")
 	)
 	flag.Parse()
 
@@ -73,11 +77,20 @@ func main() {
 	)
 	loader := makeLoader(pipe, *known, *query, *forumW, *scale, *seed, *polish, *refine)
 
+	opts := pipe.MatcherOptions()
+	mode, err := prefilter.ParseMode(*preMode)
+	if err != nil {
+		log.Fatalf("attributed: -prefilter: %v", err)
+	}
+	opts.Prefilter.Mode = mode
+	opts.Prefilter.LSH.Bands = *lshBands
+	opts.Prefilter.LSH.Rows = *lshRows
+
 	ctx := context.Background()
 	start := time.Now()
 	svc, err := serve.New(ctx, serve.Config{
 		Loader:     loader,
-		Options:    pipe.MatcherOptions(),
+		Options:    opts,
 		Subjects:   pipe.SubjectOptions(),
 		APIKeys:    splitKeys(*apiKeys),
 		RatePerSec: *rate,

@@ -15,6 +15,13 @@
 //     ./internal/serve) → BENCH_serve.json. These benchmarks report a
 //     per-request tail latency as a `p99-ns` custom metric; `-maxp99`
 //     (a duration, e.g. 150ms; 0 disables) gates it.
+//   - prefilter: the three stage-1 candidate paths (BenchmarkRankExact,
+//     BenchmarkRankPruned, BenchmarkRankLSH in ./internal/attribution) at
+//     N ∈ {1k, 10k, 100k} → BENCH_prefilter.json. Each reports its mean
+//     exactly-scored candidates as a `cands/op` custom metric. Within a
+//     phase, exact-vs-prefiltered ns/op ratios at each N are recorded
+//     under `prefilter_speedups`; `-minpruned` and `-minlsh` gate the
+//     ratios at the largest measured N (0 disables).
 //
 // Run a suite once from the commit you are starting from and once after
 // your change:
@@ -58,8 +65,11 @@ type Metrics struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	// P99Ns is the per-request p99 latency the serve benchmarks report
 	// through b.ReportMetric as "p99-ns"; zero for suites without it.
-	P99Ns   float64 `json:"p99_ns,omitempty"`
-	Samples int     `json:"samples"`
+	P99Ns float64 `json:"p99_ns,omitempty"`
+	// CandsPerOp is the mean exactly-scored candidate count the prefilter
+	// benchmarks report as "cands/op"; zero for suites without it.
+	CandsPerOp float64 `json:"cands_per_op,omitempty"`
+	Samples    int     `json:"samples"`
 }
 
 // Entry pairs the two phases of one benchmark.
@@ -80,6 +90,11 @@ type File struct {
 	// twin to (obs ns/op ÷ base ns/op) − 1, from the most recent phase
 	// that measured both.
 	Overheads map[string]float64 `json:"overheads,omitempty"`
+	// PrefilterSpeedups maps "RankPruned/N=100000"-style keys to the
+	// exact-scan ns/op divided by that path's ns/op at the same world
+	// size, from the most recent phase that measured the pair (>1 means
+	// the pre-filter is faster than scoring everything).
+	PrefilterSpeedups map[string]float64 `json:"prefilter_speedups,omitempty"`
 }
 
 // benchName matches the leading "BenchmarkX-8" column; the metric columns
@@ -118,18 +133,26 @@ var suites = map[string]suite{
 		pkg:         "./internal/serve",
 		description: "Serving-layer load trajectory: closed-loop concurrent drivers through the full /v1 middleware + handler chain, with every response verified byte-identical to the sequential matcher. Regenerate with `go run ./cmd/benchdiff -suite serve -phase before|after`; `p99_ns` is the per-request tail latency, gated by -maxp99.",
 	},
+	"prefilter": {
+		pattern:     "^(BenchmarkRankExact|BenchmarkRankPruned|BenchmarkRankLSH)$",
+		out:         "BENCH_prefilter.json",
+		pkg:         "./internal/attribution",
+		description: "Stage-1 pre-filter trajectory: the exact posting scan vs the lossless upper-bound pruned walk vs banded MinHash-LSH, at 1k/10k/100k known subjects. Regenerate with `go run ./cmd/benchdiff -suite prefilter -phase before|after`; `cands_per_op` is the mean exactly-scored candidate count, `prefilter_speedups` holds exact÷path ns ratios per world size, gated at the largest size by -minpruned/-minlsh.",
+	},
 }
 
 func main() {
 	phase := flag.String("phase", "", "which side of the change this run measures: before | after")
 	count := flag.Int("count", 3, "benchmark sample count (median is recorded)")
-	suiteName := flag.String("suite", "matcher", "benchmark suite: matcher | ingest | obs | serve")
+	suiteName := flag.String("suite", "matcher", "benchmark suite: matcher | ingest | obs | serve | prefilter")
 	out := flag.String("out", "", "trajectory file to create or merge into (default: the suite's file)")
 	pattern := flag.String("bench", "", "benchmark selection pattern (default: the suite's filter)")
 	pkg := flag.String("pkg", "", "package containing the benchmarks (default: the suite's package)")
 	benchtime := flag.String("benchtime", "", "passed to go test -benchtime (e.g. 1x, 2s)")
 	maxOverhead := flag.Float64("maxoverhead", 3, "fail when an Obs twin costs more than this percent over its base (0 disables)")
 	maxP99 := flag.Duration("maxp99", 0, "fail when a benchmark's p99-ns metric exceeds this duration (0 disables)")
+	minPruned := flag.Float64("minpruned", 0, "fail when the pruned path is not at least this many times faster than the exact scan at the largest world size (0 disables)")
+	minLSH := flag.Float64("minlsh", 0, "fail when the LSH path is not at least this many times faster than the exact scan at the largest world size (0 disables)")
 	flag.Parse()
 	if *phase != "before" && *phase != "after" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -phase must be 'before' or 'after'")
@@ -138,7 +161,7 @@ func main() {
 	}
 	s, ok := suites[*suiteName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "benchdiff: unknown suite %q (want matcher, ingest, obs, or serve)\n", *suiteName)
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown suite %q (want matcher, ingest, obs, serve, or prefilter)\n", *suiteName)
 		os.Exit(2)
 	}
 	if *out == "" {
@@ -202,6 +225,7 @@ func main() {
 
 	overheadFailed := gateOverheads(f, *phase, *maxOverhead)
 	p99Failed := gateP99(f, *phase, *maxP99)
+	prefilterFailed := gatePrefilter(f, *phase, *minPruned, *minLSH)
 
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
@@ -213,9 +237,67 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchdiff: recorded %q phase for %d benchmarks in %s\n", *phase, len(samples), *out)
-	if overheadFailed || p99Failed {
+	if overheadFailed || p99Failed || prefilterFailed {
 		os.Exit(1)
 	}
+}
+
+// gatePrefilter pairs the exact stage-1 scan with each pre-filtered path
+// at the same world size, records the exact÷path ns ratios in f, and
+// gates them against -minpruned/-minlsh at the largest measured size only
+// — small worlds leave too little room between fixed per-query costs and
+// the scan for a stable bound, and the acceptance target is the scaling
+// regime anyway.
+func gatePrefilter(f *File, phase string, minPruned, minLSH float64) bool {
+	pick := func(e *Entry) *Metrics {
+		if e == nil {
+			return nil
+		}
+		if phase == "after" {
+			return e.After
+		}
+		return e.Before
+	}
+	largest := 0
+	exacts := map[int]*Metrics{}
+	for short, e := range f.Benchmarks {
+		rest, ok := strings.CutPrefix(short, "RankExact/N=")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			continue
+		}
+		if m := pick(e); m != nil && m.NsPerOp > 0 {
+			exacts[n] = m
+			if n > largest {
+				largest = n
+			}
+		}
+	}
+	failed := false
+	for n, exact := range exacts {
+		for path, min := range map[string]float64{"RankPruned": minPruned, "RankLSH": minLSH} {
+			key := fmt.Sprintf("%s/N=%d", path, n)
+			m := pick(f.Benchmarks[key])
+			if m == nil || m.NsPerOp == 0 {
+				continue
+			}
+			ratio := exact.NsPerOp / m.NsPerOp
+			if f.PrefilterSpeedups == nil {
+				f.PrefilterSpeedups = make(map[string]float64)
+			}
+			f.PrefilterSpeedups[key] = round3(ratio)
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: %.2fx the exact scan (%.0f of %d candidates scored)\n",
+				key, ratio, m.CandsPerOp, n)
+			if n == largest && min > 0 && ratio < min {
+				fmt.Fprintf(os.Stderr, "benchdiff: FAIL: %s speedup %.2fx is under the %.2fx bound\n", key, ratio, min)
+				failed = true
+			}
+		}
+	}
+	return failed
 }
 
 // gateP99 checks every benchmark that reported a p99-ns metric in the
@@ -329,6 +411,8 @@ func parseLine(line string) (string, Metrics, bool) {
 			s.AllocsPerOp = v
 		case "p99-ns":
 			s.P99Ns = v
+		case "cands/op":
+			s.CandsPerOp = v
 		}
 	}
 	return nm[1], s, sawNs
@@ -354,6 +438,7 @@ func median(ms []Metrics) Metrics {
 		BytesPerOp:  pick(func(m Metrics) float64 { return m.BytesPerOp }),
 		AllocsPerOp: pick(func(m Metrics) float64 { return m.AllocsPerOp }),
 		P99Ns:       pick(func(m Metrics) float64 { return m.P99Ns }),
+		CandsPerOp:  pick(func(m Metrics) float64 { return m.CandsPerOp }),
 		Samples:     len(ms),
 	}
 }

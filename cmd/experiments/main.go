@@ -7,7 +7,8 @@
 //	experiments [-scale 0.12] [-seed 1] [-run tab1,fig3] [-out results.md]
 //	            [-manifest run.json] [-trace trace.jsonl] [-obs.addr 127.0.0.1:0]
 //
-// Experiment ids: tab1..tab6, fig1..fig5, tmgdm, dewhole, profile, batch.
+// Experiment ids: tab1..tab6, fig1..fig5, tmgdm, dewhole, profile, batch,
+// prefilter.
 //
 // With -manifest the run writes a run.json audit artifact: configuration,
 // seeds, dataset digests, per-stage span summaries, the final metric
@@ -134,6 +135,7 @@ func run() error {
 			return lab.ProfileBestMatch(crossDark), nil
 		}},
 		{"batch", func() (fmt.Stringer, error) { return lab.BatchProcedure() }},
+		{"prefilter", func() (fmt.Stringer, error) { return lab.Prefilter() }},
 	}
 
 	results := make(map[string]string)

@@ -15,7 +15,8 @@ import (
 )
 
 // DefaultScope lists the deterministic packages (ISSUE 4 tentpole).
-const DefaultScope = "internal/synth,internal/corpus,internal/anonymize,internal/experiments,internal/eval"
+const DefaultScope = "internal/synth,internal/corpus,internal/anonymize,internal/experiments,internal/eval," +
+	"internal/prefilter"
 
 // globalFuncs are the package-level functions of math/rand (and /v2)
 // that draw from the shared, unseedable-in-tests global source.

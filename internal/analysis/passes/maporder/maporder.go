@@ -27,7 +27,8 @@ import (
 // plus every seed-driven package whose output feeds the experiment
 // tables.
 const DefaultScope = "internal/features,internal/attribution,internal/normalize," +
-	"internal/synth,internal/corpus,internal/anonymize,internal/experiments,internal/eval"
+	"internal/synth,internal/corpus,internal/anonymize,internal/experiments,internal/eval," +
+	"internal/prefilter"
 
 var scope = analysis.NewScope(DefaultScope)
 

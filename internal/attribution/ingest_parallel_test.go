@@ -44,10 +44,15 @@ func TestNewMatcherWorkerInvariance(t *testing.T) {
 		if !reflect.DeepEqual(par.postings, seq.postings) {
 			t.Errorf("Workers=%d: inverted index diverges from sequential build", workers)
 		}
-		if !reflect.DeepEqual(par.hasGrams, seq.hasGrams) ||
+		if !reflect.DeepEqual(par.mask, seq.mask) ||
 			!reflect.DeepEqual(par.freqs, seq.freqs) ||
 			!reflect.DeepEqual(par.acts, seq.acts) {
 			t.Errorf("Workers=%d: dense blocks diverge from sequential build", workers)
+		}
+		if !reflect.DeepEqual(par.fwdIdx, seq.fwdIdx) ||
+			!reflect.DeepEqual(par.fwdVal, seq.fwdVal) ||
+			!reflect.DeepEqual(par.maxContrib, seq.maxContrib) {
+			t.Errorf("Workers=%d: pre-filter structures diverge from sequential build", workers)
 		}
 		for i := 0; i < len(probes); i += 7 {
 			got, want := par.Match(&probes[i]), seq.Match(&probes[i])

@@ -10,6 +10,7 @@ import (
 
 	"darklight/internal/features"
 	"darklight/internal/obs"
+	"darklight/internal/prefilter"
 )
 
 // Matcher metrics. Every value is a count of work performed — never a
@@ -52,6 +53,11 @@ type Options struct {
 	TwoStage bool
 	// Workers bounds parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Prefilter selects the default stage-1 candidate pre-filter and its
+	// knobs. The zero value resolves to the lossless pruned mode, whose
+	// top-k is bit-identical to the exact scan; per-query MatchOptions can
+	// override the mode. See internal/prefilter.
+	Prefilter prefilter.Params
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -84,6 +90,7 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	o.Prefilter = o.Prefilter.WithDefaults()
 	return o
 }
 
@@ -123,12 +130,37 @@ type Matcher struct {
 	// of (known subject, normalised value) postings. Scoring an unknown
 	// touches only postings of features the unknown actually has.
 	postings map[uint32][]posting
-	// hasGrams marks subjects with a non-empty gram block.
-	hasGrams []bool
+	// mask records per-subject block presence (maskGrams/maskFreq/maskAct
+	// bits): the subject-side norm depends only on which blocks exist.
+	mask []uint8
 	// freqs and acts are the dense normalised frequency and activity
 	// blocks (nil entries when absent).
 	freqs [][]float64
 	acts  [][]float64
+	// maxContrib holds each gram feature's largest posting value — the
+	// per-term contribution caps the pruned pre-filter builds score upper
+	// bounds from. Built shard-by-shard alongside the postings and merged.
+	maxContrib *prefilter.MaxContrib
+	// fwdIdx/fwdVal are the forward gram index: each subject's sorted
+	// feature ids and the same float32 values its postings carry. The
+	// pre-filtered paths score one subject at a time with an id-ordered
+	// merge over these lists, reproducing the posting sweep's float32
+	// accumulation bit for bit.
+	fwdIdx [][]uint32
+	fwdVal [][]float32
+	// lshIdx lazily caches one immutable LSH index per operating point
+	// actually queried (the default point plus any per-query overrides).
+	// lshSets caches each subject's informative gram-id set — the forward
+	// list with weightless grams (value below prefilter.MinHashValueFloor)
+	// removed — built once on the first LSH query and shared by every
+	// operating point.
+	lshMu   sync.Mutex
+	lshIdx  map[prefilter.LSHParams]*prefilter.LSH
+	lshSets [][]uint32
+	// bufPool backs the bufferless entry points: the serve path calls Rank
+	// per request, and without pooling every request would allocate two
+	// known-set-sized accumulators.
+	bufPool sync.Pool
 	// byName maps a known subject's name to its index (last wins on
 	// duplicates, matching historical Rescore behaviour).
 	byName map[string]int
@@ -145,14 +177,73 @@ type Matcher struct {
 	sameExtract bool
 }
 
+// Subject block-presence bits of Matcher.mask.
+const (
+	maskGrams uint8 = 1 << iota
+	maskFreq
+	maskAct
+)
+
+// maskNorm is normOf over a presence mask.
+func maskNorm(mask uint8, w Weights) float64 {
+	return normOf(mask&maskGrams != 0, mask&maskFreq != 0, mask&maskAct != 0, w)
+}
+
 // matchBuffers is per-worker scratch reused across Match calls: the dense
-// score accumulators sized to the known set and the top-k heap. Each
-// MatchAll worker owns one; the exported entry points pass nil and
-// allocate per call.
+// score accumulators sized to the known set, the top-k heap, and the
+// pre-filter's per-query scratch. Each MatchAll worker owns one; the
+// exported entry points pass nil and draw from the matcher's pool.
 type matchBuffers struct {
 	scores   []float64
 	scores32 []float32
 	heap     []heapEntry
+
+	// Pre-filter scratch (fully overwritten each query, never zeroed).
+	qv32   []float32 // query gram values in the exact scan's float32 form
+	imps   []float64 // per-term impacts
+	order  []int     // impact-descending term order
+	bounds prefilter.BoundHeap
+	cands  []int32  // LSH candidate union
+	lshq   []uint32 // query's informative gram-id set (MinHash floor applied)
+
+	// Pruned-walk scratch. pscore is all-zero BETWEEN queries — rankPruned
+	// clears exactly the entries it touched on its way out, so a walk that
+	// reaches 500 of 100k subjects costs 500 writes, not an O(N) clear.
+	// touched lists those entries.
+	pscore  []float64
+	touched []int32
+}
+
+// pruneBufs returns the pruned walk's partial-score accumulator (length
+// n, all zero by the invariant above) and the empty touched list.
+func (b *matchBuffers) pruneBufs(n int) ([]float64, []int32) {
+	if cap(b.pscore) < n {
+		b.pscore = make([]float64, n)
+	}
+	b.pscore = b.pscore[:n]
+	return b.pscore, b.touched[:0]
+}
+
+// queryVals fills and returns the float32 form of the query gram values —
+// the representation the exact posting sweep multiplies by.
+func (b *matchBuffers) queryVals(vals []float64) []float32 {
+	if cap(b.qv32) < len(vals) {
+		b.qv32 = make([]float32, len(vals))
+	}
+	b.qv32 = b.qv32[:len(vals)]
+	for i, v := range vals {
+		b.qv32[i] = float32(v)
+	}
+	return b.qv32
+}
+
+// impactBuf returns an uninitialised n-length impact buffer.
+func (b *matchBuffers) impactBuf(n int) []float64 {
+	if cap(b.imps) < n {
+		b.imps = make([]float64, n)
+	}
+	b.imps = b.imps[:n]
+	return b.imps
 }
 
 // scoreBufs returns zeroed float64/float32 accumulators of length n,
@@ -234,29 +325,54 @@ func NewMatcherContext(ctx context.Context, known []Subject, opts Options) (*Mat
 	// shard's postings are subject-ascending within its range, so
 	// concatenating the shards in order reproduces exactly the
 	// subject-ascending posting lists of a serial build — the order
-	// stage-1 accumulates float32 dot products in.
-	m.hasGrams = make([]bool, len(known))
+	// stage-1 accumulates float32 dot products in. The same sweep fills
+	// the pre-filter structures: per-feature max contributions (merged
+	// across shards; max is order-independent), the forward gram index,
+	// and the block-presence masks.
+	m.mask = make([]uint8, len(known))
 	m.freqs = make([][]float64, len(known))
 	m.acts = make([][]float64, len(known))
+	m.fwdIdx = make([][]uint32, len(known))
+	m.fwdVal = make([][]float32, len(known))
+	gramDims := int(m.vocab.FreqOffset())
 	ictx, ispan := obs.Start(ctx, "matcher.index")
 	ispan.AddItems(int64(len(known)))
 	shardPostings := make([]map[uint32][]posting, shards)
+	shardMax := make([]*prefilter.MaxContrib, shards)
 	parallelChunks(shards, len(known), func(s, lo, hi int) {
 		_, ss := obs.Start(ictx, "matcher.index.shard")
 		ss.SetWorker(s)
 		ss.AddItems(int64(hi - lo))
 		defer ss.End()
 		local := make(map[uint32][]posting)
+		mc := prefilter.NewMaxContrib(gramDims)
 		for i := lo; i < hi; i++ {
 			b := buildBlocks(&known[i], m.vocab, opts.Reduction)
-			m.hasGrams[i] = b.grams.Len() > 0
+			var msk uint8
+			if b.grams.Len() > 0 {
+				msk |= maskGrams
+			}
+			if b.freq != nil {
+				msk |= maskFreq
+			}
+			if b.act != nil {
+				msk |= maskAct
+			}
+			m.mask[i] = msk
 			m.freqs[i] = b.freq
 			m.acts[i] = b.act
+			vals := make([]float32, len(b.grams.Idx))
 			for k, idx := range b.grams.Idx {
-				local[idx] = append(local[idx], posting{subject: i, value: float32(b.grams.Val[k])})
+				v := float32(b.grams.Val[k])
+				vals[k] = v
+				mc.Note(idx, v)
+				local[idx] = append(local[idx], posting{subject: i, value: v})
 			}
+			m.fwdIdx[i] = b.grams.Idx
+			m.fwdVal[i] = vals
 		}
 		shardPostings[s] = local
+		shardMax[s] = mc
 	})
 	m.postings = make(map[uint32][]posting)
 	for _, local := range shardPostings {
@@ -264,6 +380,11 @@ func NewMatcherContext(ctx context.Context, known []Subject, opts Options) (*Mat
 			m.postings[idx] = append(m.postings[idx], ps...)
 		}
 	}
+	m.maxContrib = shardMax[0]
+	for _, mc := range shardMax[1:] {
+		m.maxContrib.Merge(mc)
+	}
+	m.lshIdx = make(map[prefilter.LSHParams]*prefilter.LSH)
 	ispan.End()
 	mKnown.Set(float64(len(known)))
 	mVocabSize.Set(float64(m.vocab.NumWordGrams() + m.vocab.NumCharGrams()))
@@ -322,9 +443,11 @@ func (m *Matcher) NumKnown() int { return len(m.known) }
 // Vocabulary exposes the reduction vocabulary (for reports and tests).
 func (m *Matcher) Vocabulary() *features.Vocabulary { return m.vocab }
 
-// Rank runs stage 1 under the matcher's configured weights.
+// Rank runs stage 1 under the matcher's configured weights and default
+// pre-filter mode.
 func (m *Matcher) Rank(unknown *Subject, k int) []Scored {
-	return m.RankWith(unknown, k, m.opts.weights())
+	out, _ := m.RankDetailed(unknown, MatchOptions{K: k})
+	return out
 }
 
 // RankWith runs stage 1 — cosine similarity of the unknown against every
@@ -332,59 +455,78 @@ func (m *Matcher) Rank(unknown *Subject, k int) []Scored {
 // first. One index serves any weighting: Table III and Fig. 4 compare
 // "text only" (Activity 0) against "all features" from the same matcher.
 func (m *Matcher) RankWith(unknown *Subject, k int, w Weights) []Scored {
-	doc := features.Extract(unknown.Text, m.opts.Reduction)
-	return m.rankDoc(doc, unknown, k, w, nil)
+	out, _ := m.RankDetailed(unknown, MatchOptions{K: k, Weights: &w})
+	return out
 }
 
-// rankDoc is RankWith over an already-extracted reduction-config document,
-// with optional per-worker scratch buffers.
-func (m *Matcher) rankDoc(doc *features.Doc, unknown *Subject, k int, w Weights, buf *matchBuffers) []Scored {
+// RankDetailed runs stage 1 under per-query options and reports what the
+// candidate pre-filter did alongside the top-k.
+func (m *Matcher) RankDetailed(unknown *Subject, o MatchOptions) ([]Scored, prefilter.Stats) {
+	doc := features.Extract(unknown.Text, m.opts.Reduction)
+	return m.rankDoc(doc, unknown, o, nil)
+}
+
+// rankDoc ranks an already-extracted reduction-config document, with
+// optional per-worker scratch buffers (drawn from the matcher's pool when
+// nil). It resolves the per-query options against the matcher's defaults
+// and dispatches to the selected pre-filter path; see rank.go.
+func (m *Matcher) rankDoc(doc *features.Doc, unknown *Subject, o MatchOptions, buf *matchBuffers) ([]Scored, prefilter.Stats) {
 	mRankTotal.Inc()
+	k := o.K
 	if k <= 0 {
 		k = m.opts.K
 	}
+	w := m.opts.weights()
+	if o.Weights != nil {
+		w = *o.Weights
+	}
+	if buf == nil {
+		buf = m.getBuf()
+		defer m.putBuf(buf)
+	}
 	ub := buildBlocksFromDoc(doc, unknown, m.vocab)
 	uNorm := ub.norm(w)
-	var scores []float64
-	var tdots []float32
-	var scratch *[]heapEntry
-	if buf != nil {
-		scores, tdots = buf.scoreBufs(len(m.known))
-		scratch = &buf.heap
-	} else {
-		scores = make([]float64, len(m.known))
-		tdots = make([]float32, len(m.known))
+	mode := o.Mode
+	if mode == prefilter.ModeDefault {
+		mode = m.opts.Prefilter.Mode
 	}
 	if uNorm == 0 {
-		return topKScores(m.known, scores, k, scratch)
+		// A zero-norm query scores 0 against every subject under every
+		// mode; take the exact zero path so the k-padding (all-zero
+		// entries in name order) matches historical output.
+		scores, _ := buf.scoreBufs(len(m.known))
+		st := prefilter.Stats{Mode: prefilter.ModeExact, Candidates: len(m.known), Scored: len(m.known)}
+		prefilter.Observe(st)
+		return topKScores(m.known, scores, k, &buf.heap), st
 	}
-
-	// Gram block via the inverted index.
-	for j, idx := range ub.grams.Idx {
-		v := float32(ub.grams.Val[j])
-		for _, p := range m.postings[idx] {
-			tdots[p.subject] += p.value * v
-		}
+	if mode == prefilter.ModeLSH && ub.grams.Len() == 0 {
+		// Nothing to hash: stay lossless rather than return nothing.
+		mode = prefilter.ModePruned
 	}
-	// Dense blocks + normalisation.
-	wf2 := w.Freq * w.Freq
-	wa2 := w.Activity * w.Activity
-	for i := range m.known {
-		dot := float64(tdots[i])
-		if wf2 > 0 {
-			dot += wf2 * denseDot(ub.freq, m.freqs[i])
-		}
-		if wa2 > 0 {
-			dot += wa2 * denseDot(ub.act, m.acts[i])
-		}
-		kn := normOf(m.hasGrams[i], m.freqs[i] != nil, m.acts[i] != nil, w)
-		if kn == 0 {
-			continue
-		}
-		scores[i] = dot / (uNorm * kn)
+	var out []Scored
+	var st prefilter.Stats
+	switch mode {
+	case prefilter.ModePruned:
+		out, st = m.rankPruned(&ub, k, w, uNorm, buf, o.prunedParams(&m.opts.Prefilter))
+	case prefilter.ModeLSH:
+		out, st = m.rankLSH(&ub, k, w, uNorm, buf, o.lshParams(&m.opts.Prefilter))
+	default:
+		out, st = m.rankExact(&ub, k, w, uNorm, buf)
 	}
-	return topKScores(m.known, scores, k, scratch)
+	prefilter.Observe(st)
+	return out, st
 }
+
+// getBuf and putBuf recycle scratch buffers for the bufferless entry
+// points. MatchAll workers bypass the pool with worker-owned buffers.
+func (m *Matcher) getBuf() *matchBuffers {
+	if b, ok := m.bufPool.Get().(*matchBuffers); ok {
+		return b
+	}
+	return &matchBuffers{}
+}
+
+func (m *Matcher) putBuf(b *matchBuffers) { m.bufPool.Put(b) }
 
 // normOf is blocks.norm computed from block presence alone (each block is
 // unit-normalised, so only presence matters).
@@ -454,7 +596,14 @@ func (m *Matcher) rescoreDoc(udoc *features.Doc, unknown *Subject, candidates []
 
 // Match runs the full §IV-I algorithm for one unknown.
 func (m *Matcher) Match(unknown *Subject) MatchResult {
-	return m.match(context.Background(), unknown, nil)
+	return m.match(context.Background(), unknown, nil, MatchOptions{})
+}
+
+// MatchWith is Match under per-query ranking options (pre-filter mode,
+// k, weights). Stage 2 is unaffected: it rescores whatever candidate set
+// stage 1 produced.
+func (m *Matcher) MatchWith(unknown *Subject, o MatchOptions) MatchResult {
+	return m.match(context.Background(), unknown, nil, o)
 }
 
 // match is Match with optional per-worker scratch and a context that may
@@ -462,11 +611,11 @@ func (m *Matcher) Match(unknown *Subject) MatchResult {
 // unknown's document is extracted once; when the two stages share an
 // extraction config (the paper's setup) the same document also feeds
 // Rescore.
-func (m *Matcher) match(ctx context.Context, unknown *Subject, buf *matchBuffers) MatchResult {
+func (m *Matcher) match(ctx context.Context, unknown *Subject, buf *matchBuffers, o MatchOptions) MatchResult {
 	res := MatchResult{Unknown: unknown.Name}
 	udoc := features.Extract(unknown.Text, m.opts.Reduction)
 	_, rsp := obs.Start(ctx, "match.rank")
-	res.Candidates = m.rankDoc(udoc, unknown, m.opts.K, m.opts.weights(), buf)
+	res.Candidates, _ = m.rankDoc(udoc, unknown, o, buf)
 	rsp.AddItems(int64(len(res.Candidates)))
 	rsp.End()
 	mCandidates.Observe(float64(len(res.Candidates)))
@@ -526,7 +675,7 @@ func (m *Matcher) MatchAll(ctx context.Context, unknowns []Subject) ([]MatchResu
 			// reused across every query the worker picks up.
 			var buf matchBuffers
 			for i := range jobs {
-				results[i] = m.match(wctx, &unknowns[i], &buf)
+				results[i] = m.match(wctx, &unknowns[i], &buf, MatchOptions{})
 				wsp.AddItems(1)
 			}
 		}()

@@ -62,6 +62,37 @@ func siftDown(known []Subject, h []heapEntry, i, n int) {
 	}
 }
 
+// pushTopK streams one candidate into a k-bounded heap and returns the
+// (possibly grown) heap. The root is the worst retained entry — the running
+// k-th-best threshold the pruned pre-filter compares upper bounds against.
+func pushTopK(known []Subject, h []heapEntry, k int, e heapEntry) []heapEntry {
+	if k <= 0 {
+		return h
+	}
+	if len(h) < k {
+		h = append(h, e)
+		siftUp(known, h, len(h)-1)
+	} else if entryWorse(known, h[0], e) {
+		h[0] = e
+		siftDown(known, h, 0, len(h))
+	}
+	return h
+}
+
+// drainTopK empties a bounded heap into ranked output — best first, ties by
+// ascending name — by popping worst-first and filling back to front. The
+// heap's contents are consumed; its backing array is reusable afterwards.
+func drainTopK(known []Subject, h []heapEntry) []Scored {
+	out := make([]Scored, len(h))
+	for n := len(h); n > 0; n-- {
+		e := h[0]
+		h[0] = h[n-1]
+		siftDown(known, h, 0, n-1)
+		out[n-1] = Scored{Name: known[e.index].Name, Score: e.score}
+	}
+	return out
+}
+
 // topKScores selects the k best (score, name) pairs, best first; ties break
 // by name for determinism. scratch, when non-nil, supplies the reusable
 // heap buffer of a matchBuffers (its capacity is kept and grown in place).
@@ -77,25 +108,10 @@ func topKScores(known []Subject, scores []float64, k int, scratch *[]heapEntry) 
 		h = (*scratch)[:0]
 	}
 	for i := range scores {
-		e := heapEntry{score: scores[i], index: i}
-		if len(h) < k {
-			h = append(h, e)
-			siftUp(known, h, len(h)-1)
-		} else if k > 0 && entryWorse(known, h[0], e) {
-			h[0] = e
-			siftDown(known, h, 0, len(h))
-		}
+		h = pushTopK(known, h, k, heapEntry{score: scores[i], index: i})
 	}
 	if scratch != nil {
 		*scratch = h // keep the (possibly grown) capacity for the next query
 	}
-	// Pop worst-first and fill the output back to front.
-	out := make([]Scored, len(h))
-	for n := len(h); n > 0; n-- {
-		e := h[0]
-		h[0] = h[n-1]
-		siftDown(known, h, 0, n-1)
-		out[n-1] = Scored{Name: known[e.index].Name, Score: e.score}
-	}
-	return out
+	return drainTopK(known, h)
 }

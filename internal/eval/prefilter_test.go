@@ -1,0 +1,131 @@
+package eval
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"darklight/internal/attribution"
+)
+
+func sweepMatcher(t *testing.T) (*attribution.Matcher, []attribution.Subject) {
+	t.Helper()
+	known, queries := PrefilterWorld(PrefilterWorldConfig{})
+	opts := attribution.DefaultOptions()
+	opts.Workers = 2
+	m, err := attribution.NewMatcher(known, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, queries
+}
+
+func TestPrefilterWorldDeterministic(t *testing.T) {
+	k1, q1 := PrefilterWorld(PrefilterWorldConfig{})
+	k2, q2 := PrefilterWorld(PrefilterWorldConfig{})
+	if !reflect.DeepEqual(k1, k2) || !reflect.DeepEqual(q1, q2) {
+		t.Fatal("PrefilterWorld is not deterministic for a fixed config")
+	}
+	cfg := PrefilterWorldConfig{}.WithDefaults()
+	if len(k1) != cfg.Communities*cfg.PerCommunity {
+		t.Fatalf("got %d known, want %d", len(k1), cfg.Communities*cfg.PerCommunity)
+	}
+	if len(q1) != cfg.Communities*cfg.QueriesPer {
+		t.Fatalf("got %d queries, want %d", len(q1), cfg.Communities*cfg.QueriesPer)
+	}
+}
+
+// TestSweepPrefilterDefaultGrid is the operating-point sweep the manifest
+// emits, pinned at its two load-bearing properties: every pruned point is
+// lossless (recall exactly 1), and the default LSH point clears the 0.95
+// recall floor the README advertises while scoring a small fraction of
+// the known set.
+func TestSweepPrefilterDefaultGrid(t *testing.T) {
+	m, queries := sweepMatcher(t)
+	table, err := SweepPrefilter(m, queries, 10, DefaultSweepPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Known != 72 || table.Queries != len(queries) || table.K != 10 {
+		t.Fatalf("table header off: %+v", table)
+	}
+	var sawPrunedDefault, sawLSHDefault bool
+	for _, row := range table.Rows {
+		switch row.Point.Mode {
+		case "pruned":
+			if row.Recall != 1 {
+				t.Errorf("%s: pruned recall = %v, want exactly 1 (lossless)", row.Point.Label(), row.Recall)
+			}
+			if row.Point == (PrefilterPoint{Mode: "pruned"}) {
+				sawPrunedDefault = true
+				if row.Work >= 1 {
+					t.Errorf("pruned default scored the whole known set (work=%.2f): no pruning happened", row.Work)
+				}
+			}
+		case "lsh":
+			if row.Point == (PrefilterPoint{Mode: "lsh"}) {
+				sawLSHDefault = true
+				// The satellite recall floor: the default operating point
+				// must recover >= 95% of the true top-10 on the world it is
+				// designed for, while examining far fewer candidates than
+				// the exact scan.
+				if row.Recall < 0.95 {
+					t.Errorf("lsh default recall = %.3f, want >= 0.95", row.Recall)
+				}
+				if row.Work > 0.5 {
+					t.Errorf("lsh default work = %.2f, want <= 0.5 of the exact scan", row.Work)
+				}
+			}
+		}
+		if row.Candidates < 0 || row.Work < 0 {
+			t.Errorf("%s: negative work metrics: %+v", row.Point.Label(), row)
+		}
+	}
+	if !sawPrunedDefault || !sawLSHDefault {
+		t.Fatalf("default grid missing default points (pruned=%v lsh=%v)", sawPrunedDefault, sawLSHDefault)
+	}
+
+	s := table.String()
+	for _, want := range []string{"recall", "candidates", "lsh 32x3", "pruned"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestSweepPrefilterDeterministic pins the whole table: same matcher,
+// same queries, bit-identical rows on every run (work metrics are counts,
+// never timings).
+func TestSweepPrefilterDeterministic(t *testing.T) {
+	m, queries := sweepMatcher(t)
+	a, err := SweepPrefilter(m, queries, 5, DefaultSweepPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SweepPrefilter(m, queries, 5, DefaultSweepPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("sweep not deterministic:\n%v\nvs\n%v", a, b)
+	}
+	for _, row := range a.Rows {
+		if math.IsNaN(row.Recall) || math.IsNaN(row.Work) {
+			t.Fatalf("NaN in row %+v", row)
+		}
+	}
+}
+
+func TestSweepPrefilterErrors(t *testing.T) {
+	m, queries := sweepMatcher(t)
+	if _, err := SweepPrefilter(m, queries, 0, DefaultSweepPoints()); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := SweepPrefilter(m, nil, 5, DefaultSweepPoints()); err == nil {
+		t.Error("no queries should error")
+	}
+	if _, err := SweepPrefilter(m, queries, 5, []PrefilterPoint{{Mode: "bogus"}}); err == nil {
+		t.Error("unknown mode should error")
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"darklight/internal/attribution"
 	"darklight/internal/forum"
+	"darklight/internal/prefilter"
 )
 
 // handleRank is POST /v1/rank: stage 1 only — the top-k known subjects by
@@ -20,16 +21,32 @@ func (s *Service) handleRank(r *http.Request, st *state, body []byte) (any, *Err
 	if req.K < 0 {
 		return nil, errInvalidRequest("k must be >= 0")
 	}
+	mode, err := prefilter.ParseMode(req.Prefilter)
+	if err != nil {
+		return nil, errInvalidRequest(err.Error())
+	}
 	sub, apiErr := s.resolveSubject(st, &req.Subject)
 	if apiErr != nil {
 		return nil, apiErr
 	}
-	scored := st.matcher.Rank(sub, req.K)
-	return &RankResponse{
+	resp := &RankResponse{
 		IndexVersion: st.version,
 		Subject:      sub.Name,
-		Candidates:   candidates(scored),
-	}, nil
+	}
+	if req.Prefilter == "" {
+		resp.Candidates = candidates(st.matcher.Rank(sub, req.K))
+		return resp, nil
+	}
+	start := s.clock.Now()
+	scored, pst := st.matcher.RankDetailed(sub, attribution.MatchOptions{K: req.K, Mode: mode})
+	s.met.prefilterLat.With(pst.Mode.String()).Observe(s.clock.Now().Sub(start).Seconds())
+	resp.Candidates = candidates(scored)
+	resp.Prefilter = &PrefilterInfo{
+		Mode:       pst.Mode.String(),
+		Candidates: pst.Candidates,
+		Pruned:     pst.Pruned,
+	}
+	return resp, nil
 }
 
 // handleRescore is POST /v1/rescore: stage 2 over an explicit candidate

@@ -63,6 +63,14 @@ func TestHandlerTable(t *testing.T) {
 		{name: "rank_empty_subject", endpoint: "rank", method: "POST", apiKey: "test-key", body: `{"subject":{}}`, wantStatus: 400},
 		{name: "rank_trailing_data", endpoint: "rank", method: "POST", apiKey: "test-key", body: `{"subject":` + validSubject + `}{"x":1}`, wantStatus: 400},
 		{name: "rank_wrong_method", endpoint: "rank", method: "GET", apiKey: "test-key", body: "", wantStatus: 405},
+		// The prefilter knob: stats appear only when it is set, "pruned"
+		// candidates must be byte-identical to the legacy (exact-result)
+		// golden's, and unknown modes are rejected before subject
+		// resolution.
+		{name: "rank_prefilter_exact", endpoint: "rank", method: "POST", apiKey: "test-key", body: `{"subject":` + validSubject + `,"prefilter":"exact"}`, wantStatus: 200},
+		{name: "rank_prefilter_pruned", endpoint: "rank", method: "POST", apiKey: "test-key", body: `{"subject":` + validSubject + `,"prefilter":"pruned"}`, wantStatus: 200},
+		{name: "rank_prefilter_lsh", endpoint: "rank", method: "POST", apiKey: "test-key", body: `{"subject":` + validSubject + `,"prefilter":"lsh"}`, wantStatus: 200},
+		{name: "rank_prefilter_unknown", endpoint: "rank", method: "POST", apiKey: "test-key", body: `{"subject":` + validSubject + `,"prefilter":"fuzzy"}`, wantStatus: 400},
 
 		// /v1/rescore
 		{name: "rescore_valid", endpoint: "rescore", method: "POST", apiKey: "test-key", body: `{"subject":` + validSubject + `,"candidates":["alice","bob","frank"]}`, wantStatus: 200},

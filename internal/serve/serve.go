@@ -97,6 +97,9 @@ type metrics struct {
 	reloadErrs *obs.Counter      // serve_index_reload_failures_total
 	version    *obs.Gauge        // serve_index_version
 	known      *obs.Gauge        // serve_known_subjects
+	// prefilterLat tracks stage-1 latency by the pre-filter mode that
+	// actually ran, for requests that set the /v1/rank "prefilter" knob.
+	prefilterLat *obs.HistogramVec // serve_prefilter_seconds{mode}
 }
 
 // latencyBuckets spans sub-millisecond handler hits through slow seconds.
@@ -111,6 +114,9 @@ func newMetrics(r *obs.Registry) *metrics {
 		reloadErrs: r.Counter("serve_index_reload_failures_total", "failed index reloads (the previous index stays live)"),
 		version:    r.Gauge("serve_index_version", "version of the live index snapshot"),
 		known:      r.Gauge("serve_known_subjects", "known subjects in the live index"),
+		prefilterLat: r.HistogramVec("serve_prefilter_seconds",
+			"stage-1 latency by pre-filter mode for /v1/rank requests that set the knob",
+			latencyBuckets, "mode"),
 	}
 }
 
