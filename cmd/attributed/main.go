@@ -15,11 +15,19 @@
 // (main, alter-ego) halves: main is indexed, the alter egos become the
 // query corpus — a self-contained demo where every query has a true match.
 //
-// Signals: SIGHUP reloads the corpus from its source and swaps the index
-// atomically (in-flight queries finish on the old index); SIGTERM/SIGINT
-// stop accepting connections, drain in-flight requests up to -drain, and
-// exit. /metrics, /debug/vars, and /debug/pprof are mounted beside the
-// API.
+// With -index-dir, the index is persisted through internal/store: on
+// startup the daemon cold-starts from dir/index.snap when present (no
+// rebuild), replays any journal.jsonl thread deltas on top, and — with
+// -save-index — writes the resulting generation back and compacts the
+// journal. A missing snapshot falls back to building from the corpus
+// source and (with -save-index) saving it for the next start.
+//
+// Signals: SIGHUP reloads — with -index-dir it replays new journal
+// entries onto the live index instead of rebuilding from source — and
+// swaps the index atomically (in-flight queries finish on the old
+// index); SIGTERM/SIGINT stop accepting connections, drain in-flight
+// requests up to -drain, and exit. /metrics, /debug/vars, and
+// /debug/pprof are mounted beside the API.
 package main
 
 import (
@@ -33,41 +41,49 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"darklight"
+	"darklight/internal/attribution"
 	"darklight/internal/forum"
 	"darklight/internal/obs"
 	"darklight/internal/prefilter"
 	"darklight/internal/serve"
+	"darklight/internal/store"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:8787", "listen address")
-		known   = flag.String("known", "", "known dataset JSONL to index (empty: generate a synthetic world)")
-		query   = flag.String("query", "", "optional query dataset JSONL for by-alias requests (default: the known set)")
-		forumW  = flag.String("forum", "reddit", "synthetic world forum: reddit, tmg, or dm")
-		scale   = flag.Float64("scale", 0.02, "synthetic population scale")
-		seed    = flag.Uint64("seed", 1, "synthetic generator seed")
-		polish  = flag.Bool("polish", true, "run the §III-C cleaning pipeline on loaded datasets")
-		refine  = flag.Bool("refine", true, "drop aliases below the §IV-D thresholds before indexing")
-		thresh  = flag.Float64("threshold", darklight.DefaultThreshold, "acceptance threshold")
-		k       = flag.Int("k", darklight.DefaultK, "stage-1 candidate-set size")
-		budget  = flag.Int("budget", darklight.DefaultWordBudget, "per-alias word budget")
-		workers = flag.Int("workers", 0, "index-build parallelism (0: GOMAXPROCS)")
-		apiKeys = flag.String("api-keys", "", "comma-separated API keys; empty disables auth")
-		rate    = flag.Float64("rate", 0, "per-client requests/second (0: unlimited)")
-		burst   = flag.Int("burst", 20, "rate-limit burst size")
+		listen   = flag.String("listen", "127.0.0.1:8787", "listen address")
+		known    = flag.String("known", "", "known dataset JSONL to index (empty: generate a synthetic world)")
+		query    = flag.String("query", "", "optional query dataset JSONL for by-alias requests (default: the known set)")
+		forumW   = flag.String("forum", "reddit", "synthetic world forum: reddit, tmg, or dm")
+		scale    = flag.Float64("scale", 0.02, "synthetic population scale")
+		seed     = flag.Uint64("seed", 1, "synthetic generator seed")
+		polish   = flag.Bool("polish", true, "run the §III-C cleaning pipeline on loaded datasets")
+		refine   = flag.Bool("refine", true, "drop aliases below the §IV-D thresholds before indexing")
+		thresh   = flag.Float64("threshold", darklight.DefaultThreshold, "acceptance threshold")
+		k        = flag.Int("k", darklight.DefaultK, "stage-1 candidate-set size")
+		budget   = flag.Int("budget", darklight.DefaultWordBudget, "per-alias word budget")
+		workers  = flag.Int("workers", 0, "index-build parallelism (0: GOMAXPROCS)")
+		apiKeys  = flag.String("api-keys", "", "comma-separated API keys; empty disables auth")
+		rate     = flag.Float64("rate", 0, "per-client requests/second (0: unlimited)")
+		burst    = flag.Int("burst", 20, "rate-limit burst size")
 		maxBody  = flag.Int64("max-body", serve.DefaultMaxBody, "request body byte limit")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request handling deadline")
 		drain    = flag.Duration("drain", 15*time.Second, "SIGTERM drain deadline for in-flight requests")
 		preMode  = flag.String("prefilter", "", "default stage-1 candidate pre-filter: exact, pruned, or lsh (empty: pruned); /v1/rank requests may override per query")
 		lshBands = flag.Int("lsh-bands", 0, "MinHash-LSH band count (0: the built-in default)")
 		lshRows  = flag.Int("lsh-rows", 0, "MinHash rows per LSH band (0: the built-in default)")
+		indexDir = flag.String("index-dir", "", "index store directory (index.snap + journal.jsonl): cold-start from the snapshot when present; SIGHUP replays journal deltas instead of rebuilding")
+		saveIdx  = flag.Bool("save-index", false, "write the index back to -index-dir after build/replay and compact the journal")
 	)
 	flag.Parse()
+	if *saveIdx && *indexDir == "" {
+		log.Fatal("attributed: -save-index requires -index-dir")
+	}
 
 	pipe := darklight.NewPipeline(
 		darklight.WithThreshold(*thresh),
@@ -85,6 +101,16 @@ func main() {
 	opts.Prefilter.Mode = mode
 	opts.Prefilter.LSH.Bands = *lshBands
 	opts.Prefilter.LSH.Rows = *lshRows
+
+	if *indexDir != "" {
+		st, err := store.Open(*indexDir)
+		if err != nil {
+			log.Fatalf("attributed: %v", err)
+		}
+		loader = makeStoreLoader(st, opts, pipe.SubjectOptions(), *saveIdx,
+			makeKnownDataset(pipe, *known, *forumW, *scale, *seed, *polish, *refine),
+			makeQuerySubjects(pipe, *known, *query, *forumW, *scale, *seed, *polish))
+	}
 
 	ctx := context.Background()
 	start := time.Now()
@@ -220,9 +246,26 @@ func prepareDataset(ctx context.Context, pipe *darklight.Pipeline, path string, 
 
 // loadSynthetic generates a world and serves its (main, alter-ego) split.
 func loadSynthetic(ctx context.Context, pipe *darklight.Pipeline, which string, scale float64, seed uint64) (*serve.Corpus, error) {
-	world, err := darklight.GenerateWorld(darklight.WorldConfig{Seed: seed, Scale: scale})
+	mainDS, ae, err := syntheticSplit(ctx, pipe, which, scale, seed)
 	if err != nil {
 		return nil, err
+	}
+	c := &serve.Corpus{}
+	if c.Known, err = pipe.Subjects(mainDS); err != nil {
+		return nil, err
+	}
+	if c.Query, err = pipe.Subjects(ae); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// syntheticSplit generates the demo world and returns its (main,
+// alter-ego) dataset halves.
+func syntheticSplit(ctx context.Context, pipe *darklight.Pipeline, which string, scale float64, seed uint64) (*darklight.Dataset, *darklight.Dataset, error) {
+	world, err := darklight.GenerateWorld(darklight.WorldConfig{Seed: seed, Scale: scale})
+	if err != nil {
+		return nil, nil, err
 	}
 	var d *darklight.Dataset
 	switch which {
@@ -233,16 +276,113 @@ func loadSynthetic(ctx context.Context, pipe *darklight.Pipeline, which string, 
 	case "dm":
 		d = world.DM
 	default:
-		return nil, fmt.Errorf("attributed: unknown forum %q (want reddit, tmg, or dm)", which)
+		return nil, nil, fmt.Errorf("attributed: unknown forum %q (want reddit, tmg, or dm)", which)
 	}
 	pipe.PolishContext(ctx, d)
 	mainDS, ae := pipe.SplitAlterEgos(pipe.Refine(d))
-	c := &serve.Corpus{}
-	if c.Known, err = pipe.Subjects(mainDS); err != nil {
-		return nil, err
+	return mainDS, ae, nil
+}
+
+// makeKnownDataset returns the known-corpus source the store path builds
+// from when no snapshot exists yet: the prepared JSONL dataset, or the
+// synthetic world's main split.
+func makeKnownDataset(pipe *darklight.Pipeline, known, forumWhich string, scale float64, seed uint64, polish, refine bool) func(context.Context) (*forum.Dataset, error) {
+	return func(ctx context.Context) (*forum.Dataset, error) {
+		if known != "" {
+			return prepareDataset(ctx, pipe, known, polish, refine)
+		}
+		mainDS, _, err := syntheticSplit(ctx, pipe, forumWhich, scale, seed)
+		return mainDS, err
 	}
-	if c.Query, err = pipe.Subjects(ae); err != nil {
-		return nil, err
+}
+
+// makeQuerySubjects returns the query-corpus source for the store path;
+// nil subjects mean the known set doubles as the query corpus.
+func makeQuerySubjects(pipe *darklight.Pipeline, known, query, forumWhich string, scale float64, seed uint64, polish bool) func(context.Context) ([]attribution.Subject, error) {
+	return func(ctx context.Context) ([]attribution.Subject, error) {
+		switch {
+		case query != "":
+			qds, err := prepareDataset(ctx, pipe, query, polish, false)
+			if err != nil {
+				return nil, err
+			}
+			return pipe.Subjects(qds)
+		case known == "":
+			_, ae, err := syntheticSplit(ctx, pipe, forumWhich, scale, seed)
+			if err != nil {
+				return nil, err
+			}
+			return pipe.Subjects(ae)
+		default:
+			return nil, nil
+		}
 	}
-	return c, nil
+}
+
+// makeStoreLoader wires the persistent index store into the serve loader.
+// The first load cold-starts from the snapshot when one exists (building
+// from the corpus source only when it does not); every load — including
+// the SIGHUP reload path — then replays any journal deltas above the
+// index's LastSeq onto the live generation, so a reload folds freshly
+// scraped threads in without a rebuild. With save enabled, each new
+// generation is written back atomically and the journal compacted.
+func makeStoreLoader(st *store.Store, opts attribution.Options, subjOpts attribution.SubjectOptions, save bool,
+	knownDS func(context.Context) (*forum.Dataset, error),
+	querySubjects func(context.Context) ([]attribution.Subject, error)) serve.Loader {
+	var (
+		mu  sync.Mutex
+		cur *store.Index
+	)
+	return func(ctx context.Context) (*serve.Corpus, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		built := false
+		if cur == nil {
+			if st.HasSnapshot() {
+				idx, err := st.Load()
+				if err != nil {
+					return nil, err
+				}
+				log.Printf("attributed: cold-started index v%d (%d subjects) from %s", idx.Version, len(idx.Subjects), st.SnapshotPath())
+				cur = idx
+			} else {
+				ds, err := knownDS(ctx)
+				if err != nil {
+					return nil, err
+				}
+				idx, err := store.BuildIndex(ctx, ds, opts, subjOpts)
+				if err != nil {
+					return nil, err
+				}
+				log.Printf("attributed: no snapshot in %s, built index v%d from source", st.Dir(), idx.Version)
+				cur = idx
+				built = true
+			}
+		}
+		entries, err := st.ReadJournal(cur.LastSeq)
+		if err != nil {
+			return nil, err
+		}
+		next, err := store.Replay(ctx, cur, entries, subjOpts)
+		if err != nil {
+			return nil, err
+		}
+		if next != cur {
+			log.Printf("attributed: replayed %d journal deltas into index v%d (seq %d)", len(entries), next.Version, next.LastSeq)
+		}
+		if save && (built || next != cur) {
+			if err := st.Save(next); err != nil {
+				return nil, err
+			}
+			if err := st.CompactJournal(next.LastSeq); err != nil {
+				return nil, err
+			}
+		}
+		cur = next
+		q, err := querySubjects(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &serve.Corpus{Known: next.Subjects, Query: q, Matcher: next.Matcher}, nil
+	}
 }

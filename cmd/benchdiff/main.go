@@ -22,6 +22,14 @@
 //     phase, exact-vs-prefiltered ns/op ratios at each N are recorded
 //     under `prefilter_speedups`; `-minpruned` and `-minlsh` gate the
 //     ratios at the largest measured N (0 disables).
+//   - store: the persistent index store (BenchmarkStoreSave,
+//     BenchmarkStoreLoad, BenchmarkStoreRebuild in ./internal/store) at
+//     N ∈ {1k, 10k, 100k} known subjects → BENCH_store.json. Within a
+//     phase, rebuild-vs-load ns/op ratios at each N are recorded under
+//     `cold_start_speedups` — how much faster cold-starting from the
+//     snapshot is than rebuilding the index from the corpus —
+//     and `-mincoldstart` gates the ratio at the largest measured N
+//     (0 disables).
 //
 // Run a suite once from the commit you are starting from and once after
 // your change:
@@ -95,6 +103,11 @@ type File struct {
 	// size, from the most recent phase that measured the pair (>1 means
 	// the pre-filter is faster than scoring everything).
 	PrefilterSpeedups map[string]float64 `json:"prefilter_speedups,omitempty"`
+	// ColdStartSpeedups maps "StoreLoad/N=100000"-style keys to the
+	// from-scratch rebuild ns/op divided by the snapshot load ns/op at the
+	// same world size, from the most recent phase that measured the pair
+	// (>1 means cold-starting from the snapshot beats rebuilding).
+	ColdStartSpeedups map[string]float64 `json:"cold_start_speedups,omitempty"`
 }
 
 // benchName matches the leading "BenchmarkX-8" column; the metric columns
@@ -139,12 +152,18 @@ var suites = map[string]suite{
 		pkg:         "./internal/attribution",
 		description: "Stage-1 pre-filter trajectory: the exact posting scan vs the lossless upper-bound pruned walk vs banded MinHash-LSH, at 1k/10k/100k known subjects. Regenerate with `go run ./cmd/benchdiff -suite prefilter -phase before|after`; `cands_per_op` is the mean exactly-scored candidate count, `prefilter_speedups` holds exact÷path ns ratios per world size, gated at the largest size by -minpruned/-minlsh.",
 	},
+	"store": {
+		pattern:     "^(BenchmarkStoreSave|BenchmarkStoreLoad|BenchmarkStoreRebuild)$",
+		out:         "BENCH_store.json",
+		pkg:         "./internal/store",
+		description: "Persistent index store trajectory: snapshot save, digest-verified load + matcher reassembly, and the from-scratch rebuild it replaces, at 1k/10k/100k known subjects. Regenerate with `go run ./cmd/benchdiff -suite store -phase before|after`; `cold_start_speedups` holds rebuild÷load ns ratios per world size, gated at the largest size by -mincoldstart.",
+	},
 }
 
 func main() {
 	phase := flag.String("phase", "", "which side of the change this run measures: before | after")
 	count := flag.Int("count", 3, "benchmark sample count (median is recorded)")
-	suiteName := flag.String("suite", "matcher", "benchmark suite: matcher | ingest | obs | serve | prefilter")
+	suiteName := flag.String("suite", "matcher", "benchmark suite: matcher | ingest | obs | serve | prefilter | store")
 	out := flag.String("out", "", "trajectory file to create or merge into (default: the suite's file)")
 	pattern := flag.String("bench", "", "benchmark selection pattern (default: the suite's filter)")
 	pkg := flag.String("pkg", "", "package containing the benchmarks (default: the suite's package)")
@@ -153,6 +172,7 @@ func main() {
 	maxP99 := flag.Duration("maxp99", 0, "fail when a benchmark's p99-ns metric exceeds this duration (0 disables)")
 	minPruned := flag.Float64("minpruned", 0, "fail when the pruned path is not at least this many times faster than the exact scan at the largest world size (0 disables)")
 	minLSH := flag.Float64("minlsh", 0, "fail when the LSH path is not at least this many times faster than the exact scan at the largest world size (0 disables)")
+	minColdStart := flag.Float64("mincoldstart", 0, "fail when loading the snapshot is not at least this many times faster than rebuilding the index at the largest world size (0 disables)")
 	flag.Parse()
 	if *phase != "before" && *phase != "after" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -phase must be 'before' or 'after'")
@@ -161,7 +181,7 @@ func main() {
 	}
 	s, ok := suites[*suiteName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "benchdiff: unknown suite %q (want matcher, ingest, obs, serve, or prefilter)\n", *suiteName)
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown suite %q (want matcher, ingest, obs, serve, prefilter, or store)\n", *suiteName)
 		os.Exit(2)
 	}
 	if *out == "" {
@@ -226,6 +246,7 @@ func main() {
 	overheadFailed := gateOverheads(f, *phase, *maxOverhead)
 	p99Failed := gateP99(f, *phase, *maxP99)
 	prefilterFailed := gatePrefilter(f, *phase, *minPruned, *minLSH)
+	storeFailed := gateStore(f, *phase, *minColdStart)
 
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
@@ -237,9 +258,63 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchdiff: recorded %q phase for %d benchmarks in %s\n", *phase, len(samples), *out)
-	if overheadFailed || p99Failed || prefilterFailed {
+	if overheadFailed || p99Failed || prefilterFailed || storeFailed {
 		os.Exit(1)
 	}
+}
+
+// gateStore pairs the from-scratch StoreRebuild with the snapshot
+// StoreLoad at the same world size, records the rebuild÷load ns ratios in
+// f, and gates them against -mincoldstart at the largest measured size
+// only — that is the regime where cold-start time matters and where fixed
+// per-load costs stop drowning the signal.
+func gateStore(f *File, phase string, minColdStart float64) bool {
+	pick := func(e *Entry) *Metrics {
+		if e == nil {
+			return nil
+		}
+		if phase == "after" {
+			return e.After
+		}
+		return e.Before
+	}
+	largest := 0
+	rebuilds := map[int]*Metrics{}
+	for short, e := range f.Benchmarks {
+		rest, ok := strings.CutPrefix(short, "StoreRebuild/N=")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			continue
+		}
+		if m := pick(e); m != nil && m.NsPerOp > 0 {
+			rebuilds[n] = m
+			if n > largest {
+				largest = n
+			}
+		}
+	}
+	failed := false
+	for n, rebuild := range rebuilds {
+		key := fmt.Sprintf("StoreLoad/N=%d", n)
+		m := pick(f.Benchmarks[key])
+		if m == nil || m.NsPerOp == 0 {
+			continue
+		}
+		ratio := rebuild.NsPerOp / m.NsPerOp
+		if f.ColdStartSpeedups == nil {
+			f.ColdStartSpeedups = make(map[string]float64)
+		}
+		f.ColdStartSpeedups[key] = round3(ratio)
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: cold start %.2fx faster than rebuild\n", key, ratio)
+		if n == largest && minColdStart > 0 && ratio < minColdStart {
+			fmt.Fprintf(os.Stderr, "benchdiff: FAIL: %s cold-start speedup %.2fx is under the %.2fx bound\n", key, ratio, minColdStart)
+			failed = true
+		}
+	}
+	return failed
 }
 
 // gatePrefilter pairs the exact stage-1 scan with each pre-filtered path

@@ -25,10 +25,11 @@ import (
 // DefaultScope lists the packages under bit-identical output
 // guarantees: the ingest/matcher trio the worker-invariance tests pin,
 // plus every seed-driven package whose output feeds the experiment
-// tables.
+// tables, plus the snapshot store whose serialised form must be
+// byte-stable across saves of the same index.
 const DefaultScope = "internal/features,internal/attribution,internal/normalize," +
 	"internal/synth,internal/corpus,internal/anonymize,internal/experiments,internal/eval," +
-	"internal/prefilter"
+	"internal/prefilter,internal/store"
 
 var scope = analysis.NewScope(DefaultScope)
 

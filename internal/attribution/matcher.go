@@ -58,6 +58,12 @@ type Options struct {
 	// top-k is bit-identical to the exact scan; per-query MatchOptions can
 	// override the mode. See internal/prefilter.
 	Prefilter prefilter.Params
+	// Incremental retains the corpus gram counters and each subject's
+	// sorted reduction-config document after the build, enabling State()
+	// (persistence) and Fold (delta updates without a full rebuild). Costs
+	// roughly the size of the extracted corpus in memory; the built index
+	// is bit-identical either way.
+	Incremental bool
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -175,6 +181,14 @@ type Matcher struct {
 	// the paper's setup), letting Match share one unknown-document
 	// extraction across both stages.
 	sameExtract bool
+	// stats and docs are retained only under Options.Incremental: the
+	// corpus gram counters the vocabulary was built from, and each known
+	// subject's sorted reduction-config document (aligned with known).
+	// Together they let Fold subtract a subject's old counts, add its new
+	// ones, and re-run only the index pass — and let State() persist
+	// enough to do the same after a restart.
+	stats *features.VocabBuilder
+	docs  []*features.SortedDoc
 }
 
 // Subject block-presence bits of Matcher.mask.
@@ -281,15 +295,9 @@ func NewMatcher(known []Subject, opts Options) (*Matcher, error) {
 // chunk. The built index is bit-identical with tracing on or off.
 func NewMatcherContext(ctx context.Context, known []Subject, opts Options) (*Matcher, error) {
 	opts = opts.withDefaults()
-	if err := opts.Reduction.Validate(); err != nil {
-		return nil, fmt.Errorf("attribution: reduction config: %w", err)
+	if err := validateOptions(opts); err != nil {
+		return nil, err
 	}
-	if opts.TwoStage {
-		if err := opts.Final.Validate(); err != nil {
-			return nil, fmt.Errorf("attribution: final config: %w", err)
-		}
-	}
-	m := &Matcher{opts: opts, known: known}
 
 	// Pass 1: corpus statistics → vocabulary. Each worker extracts a
 	// contiguous chunk of subjects into a private builder; the builders
@@ -297,11 +305,16 @@ func NewMatcherContext(ctx context.Context, known []Subject, opts Options) (*Mat
 	// cut breaks frequency ties by gram id, so the merged vocabulary is
 	// bit-identical to a sequential build for any worker count. Docs are
 	// dropped as soon as they are folded in — keeping every doc alive
-	// would cost ~1 MB per subject.
+	// would cost ~1 MB per subject — unless Incremental retains their
+	// sorted form for Fold/State.
 	shards := shardCount(opts.Workers, len(known))
 	vctx, vspan := obs.Start(ctx, "matcher.vocab")
 	vspan.AddItems(int64(len(known)))
 	builders := make([]*features.VocabBuilder, shards)
+	var docs []*features.SortedDoc
+	if opts.Incremental {
+		docs = make([]*features.SortedDoc, len(known))
+	}
 	parallelChunks(shards, len(known), func(s, lo, hi int) {
 		_, ss := obs.Start(vctx, "matcher.vocab.shard")
 		ss.SetWorker(s)
@@ -309,7 +322,14 @@ func NewMatcherContext(ctx context.Context, known []Subject, opts Options) (*Mat
 		defer ss.End()
 		vb := features.NewVocabBuilder(opts.Reduction)
 		for i := lo; i < hi; i++ {
-			vb.Add(features.Extract(known[i].Text, opts.Reduction))
+			d := features.Extract(known[i].Text, opts.Reduction)
+			if docs != nil {
+				sd := d.Sorted()
+				docs[i] = sd
+				vb.AddSorted(sd)
+			} else {
+				vb.Add(d)
+			}
 		}
 		builders[s] = vb
 	})
@@ -317,8 +337,43 @@ func NewMatcherContext(ctx context.Context, known []Subject, opts Options) (*Mat
 	for _, o := range builders[1:] {
 		vb.Merge(o)
 	}
-	m.vocab = vb.Build()
 	vspan.End()
+	var stats *features.VocabBuilder
+	if opts.Incremental {
+		stats = vb
+	}
+	return newMatcherFromDocs(ctx, known, docs, stats, vb.Build(), opts)
+}
+
+// validateOptions checks the feature configurations of already-defaulted
+// options.
+func validateOptions(opts Options) error {
+	if err := opts.Reduction.Validate(); err != nil {
+		return fmt.Errorf("attribution: reduction config: %w", err)
+	}
+	if opts.TwoStage {
+		if err := opts.Final.Validate(); err != nil {
+			return fmt.Errorf("attribution: final config: %w", err)
+		}
+	}
+	return nil
+}
+
+// newMatcherFromDocs runs the index pass over a frozen vocabulary. docs,
+// when non-nil, supplies each subject's pre-sorted reduction document
+// (the incremental path — Fold and loads from a snapshot reuse cached
+// extractions); when nil every subject is re-extracted from its text. The
+// per-entry vectorizer arithmetic is identical either way, so the two
+// paths assemble bit-identical indexes. opts must already be defaulted
+// and validated; stats and docs are retained on the matcher only under
+// opts.Incremental.
+func newMatcherFromDocs(ctx context.Context, known []Subject, docs []*features.SortedDoc, stats *features.VocabBuilder, vocab *features.Vocabulary, opts Options) (*Matcher, error) {
+	m := &Matcher{opts: opts, known: known, vocab: vocab}
+	if opts.Incremental {
+		m.stats = stats
+		m.docs = docs
+	}
+	shards := shardCount(opts.Workers, len(known))
 
 	// Pass 2: re-extract, build blocks, and assemble per-shard posting
 	// lists in one parallel sweep over the same contiguous chunks. Each
@@ -347,7 +402,12 @@ func NewMatcherContext(ctx context.Context, known []Subject, opts Options) (*Mat
 		local := make(map[uint32][]posting)
 		mc := prefilter.NewMaxContrib(gramDims)
 		for i := lo; i < hi; i++ {
-			b := buildBlocks(&known[i], m.vocab, opts.Reduction)
+			var b blocks
+			if docs != nil {
+				b = buildBlocksFromSortedVocab(docs[i], &known[i], m.vocab)
+			} else {
+				b = buildBlocks(&known[i], m.vocab, opts.Reduction)
+			}
 			var msk uint8
 			if b.grams.Len() > 0 {
 				msk |= maskGrams

@@ -173,6 +173,19 @@ func buildBlocksFromDoc(doc *features.Doc, s *Subject, vocab *features.Vocabular
 	}
 }
 
+// buildBlocksFromSortedVocab is buildBlocksFromDoc over the flattened
+// document form and the full reduction vocabulary — the incremental index
+// pass, which reuses cached sorted extractions instead of re-extracting.
+// The per-entry arithmetic matches VectorizeGrams exactly, so the blocks
+// are bit-identical to buildBlocks on the same subject.
+func buildBlocksFromSortedVocab(d *features.SortedDoc, s *Subject, vocab *features.Vocabulary) blocks {
+	return blocks{
+		grams: vocab.VectorizeGramsSorted(d).Normalize(),
+		freq:  normalizedFreq(d.Freq),
+		act:   normalizedActivity(s),
+	}
+}
+
 // buildBlocksFromSorted is buildBlocksFromDoc over the flattened document
 // form and a candidate vocabulary — the stage-2 hot path.
 func buildBlocksFromSorted(d *features.SortedDoc, s *Subject, cv *features.CandidateVocab) blocks {

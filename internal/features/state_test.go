@@ -1,0 +1,175 @@
+package features
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBuilderStateRoundTrip pins State → NewVocabBuilderFromState to the
+// original builder: identical counters, and a bit-identical Vocabulary.
+func TestBuilderStateRoundTrip(t *testing.T) {
+	docs := shardTestDocs(29)
+	b := NewVocabBuilder(ReductionConfig())
+	for _, d := range docs {
+		b.Add(d)
+	}
+	got := NewVocabBuilderFromState(b.State())
+	if !reflect.DeepEqual(got.words, b.words) || !reflect.DeepEqual(got.chars, b.chars) {
+		t.Error("round-tripped builder counters diverge")
+	}
+	if got.numDocs != b.numDocs || got.freqSeen != b.freqSeen {
+		t.Errorf("round-tripped builder: numDocs %d/%d freqSeen %v/%v", got.numDocs, b.numDocs, got.freqSeen, b.freqSeen)
+	}
+	if !reflect.DeepEqual(got.Build(), b.Build()) {
+		t.Error("round-tripped builder Builds a different vocabulary")
+	}
+}
+
+// TestBuilderStateDeterministic pins the serialised form: two builders fed
+// the same documents in different orders emit byte-for-byte equal states.
+func TestBuilderStateDeterministic(t *testing.T) {
+	docs := shardTestDocs(17)
+	a := NewVocabBuilder(ReductionConfig())
+	b := NewVocabBuilder(ReductionConfig())
+	for _, d := range docs {
+		a.Add(d)
+	}
+	for i := len(docs) - 1; i >= 0; i-- {
+		b.Add(docs[i])
+	}
+	if !reflect.DeepEqual(a.State(), b.State()) {
+		t.Error("builder state depends on document order")
+	}
+}
+
+// TestVocabStateRoundTrip pins Vocabulary State → NewVocabularyFromState:
+// the reconstructed vocabulary vectorizes bit-identically.
+func TestVocabStateRoundTrip(t *testing.T) {
+	docs := shardTestDocs(29)
+	b := NewVocabBuilder(ReductionConfig())
+	for _, d := range docs {
+		b.Add(d)
+	}
+	v := b.Build()
+	got, err := NewVocabularyFromState(v.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Error("round-tripped vocabulary diverges")
+	}
+	for i, d := range docs {
+		if !reflect.DeepEqual(got.Vectorize(d), v.Vectorize(d)) {
+			t.Fatalf("doc %d: round-tripped vocabulary vectorizes differently", i)
+		}
+	}
+}
+
+// TestVocabStateRejectsMalformed: length mismatches and duplicate grams
+// must error, not build a silently wrong index.
+func TestVocabStateRejectsMalformed(t *testing.T) {
+	docs := shardTestDocs(5)
+	b := NewVocabBuilder(ReductionConfig())
+	for _, d := range docs {
+		b.Add(d)
+	}
+	st := b.Build().State()
+
+	short := st
+	short.WordIDF = short.WordIDF[:len(short.WordIDF)-1]
+	if _, err := NewVocabularyFromState(short); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	dup := st
+	dup.Words = append([]GramID{st.Words[1]}, st.Words[1:]...)
+	dup.WordIDF = append([]float64{st.WordIDF[1]}, st.WordIDF[1:]...)
+	if _, err := NewVocabularyFromState(dup); err == nil {
+		t.Error("duplicate gram accepted")
+	}
+}
+
+// TestAddSortedMatchesAdd: feeding SortedDocs must leave counter-for-
+// counter the same builder as feeding the original Docs.
+func TestAddSortedMatchesAdd(t *testing.T) {
+	docs := shardTestDocs(23)
+	plain := NewVocabBuilder(ReductionConfig())
+	sorted := NewVocabBuilder(ReductionConfig())
+	for _, d := range docs {
+		plain.Add(d)
+		sorted.AddSorted(d.Sorted())
+	}
+	if !reflect.DeepEqual(sorted.words, plain.words) || !reflect.DeepEqual(sorted.chars, plain.chars) {
+		t.Error("AddSorted counters diverge from Add")
+	}
+	if sorted.numDocs != plain.numDocs || sorted.freqSeen != plain.freqSeen {
+		t.Error("AddSorted bookkeeping diverges from Add")
+	}
+}
+
+// TestRemoveSortedIsInverse: Add then Remove of any subset must equal a
+// builder that never saw those documents — including the map's key set,
+// so a gram whose counters hit zero cannot linger and perturb the top-N
+// candidate ordering.
+func TestRemoveSortedIsInverse(t *testing.T) {
+	docs := shardTestDocs(23)
+	full := NewVocabBuilder(ReductionConfig())
+	for _, d := range docs {
+		full.AddSorted(d.Sorted())
+	}
+	for _, d := range docs[17:] {
+		full.RemoveSorted(d.Sorted())
+	}
+	want := NewVocabBuilder(ReductionConfig())
+	for _, d := range docs[:17] {
+		want.AddSorted(d.Sorted())
+	}
+	if !reflect.DeepEqual(full.words, want.words) || !reflect.DeepEqual(full.chars, want.chars) {
+		t.Error("RemoveSorted left residue (or removed too much)")
+	}
+	if full.numDocs != want.numDocs || full.freqSeen != want.freqSeen {
+		t.Error("RemoveSorted bookkeeping diverges")
+	}
+	if !reflect.DeepEqual(full.Build(), want.Build()) {
+		t.Error("RemoveSorted builder Builds a different vocabulary")
+	}
+}
+
+// TestBuilderCloneIsIndependent: mutating a clone never leaks into the
+// original.
+func TestBuilderCloneIsIndependent(t *testing.T) {
+	docs := shardTestDocs(11)
+	b := NewVocabBuilder(ReductionConfig())
+	for _, d := range docs[:7] {
+		b.AddSorted(d.Sorted())
+	}
+	before := b.State()
+	c := b.Clone()
+	if !reflect.DeepEqual(c.State(), before) {
+		t.Fatal("clone does not equal original")
+	}
+	for _, d := range docs[7:] {
+		c.AddSorted(d.Sorted())
+	}
+	c.RemoveSorted(docs[0].Sorted())
+	if !reflect.DeepEqual(b.State(), before) {
+		t.Error("mutating the clone changed the original")
+	}
+}
+
+// TestVectorizeGramsSortedMatches pins the sorted-document vectorizer to
+// VectorizeGrams bit-for-bit.
+func TestVectorizeGramsSortedMatches(t *testing.T) {
+	docs := shardTestDocs(23)
+	b := NewVocabBuilder(ReductionConfig())
+	for _, d := range docs {
+		b.Add(d)
+	}
+	v := b.Build()
+	for i, d := range docs {
+		want := v.VectorizeGrams(d)
+		got := v.VectorizeGramsSorted(d.Sorted())
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("doc %d: VectorizeGramsSorted diverges from VectorizeGrams", i)
+		}
+	}
+}

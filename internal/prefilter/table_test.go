@@ -1,0 +1,69 @@
+package prefilter
+
+import (
+	"reflect"
+	"testing"
+)
+
+func tableTestSets(n int) [][]uint32 {
+	sets := make([][]uint32, n)
+	for i := range sets {
+		if i%7 == 3 {
+			continue // empty set: never bucketed
+		}
+		set := make([]uint32, 0, 12)
+		for j := 0; j < 12; j++ {
+			set = append(set, uint32((i*31+j*17)%257))
+		}
+		sets[i] = set
+	}
+	return sets
+}
+
+// TestLSHTableRoundTrip pins Table → LSHFromTable: identical candidates
+// for every query, and a byte-identical re-snapshot.
+func TestLSHTableRoundTrip(t *testing.T) {
+	sets := tableTestSets(64)
+	p := LSHParams{Bands: 8, Rows: 2, Seed: 42}
+	l := BuildLSH(len(sets), func(i int) []uint32 { return sets[i] }, p)
+
+	tab := l.Table()
+	got := LSHFromTable(tab)
+	if got.Params() != l.Params() {
+		t.Fatalf("params changed across round trip: %+v vs %+v", got.Params(), l.Params())
+	}
+	for i, set := range sets {
+		want := l.Candidates(set, nil)
+		have := got.Candidates(set, nil)
+		if !reflect.DeepEqual(have, want) {
+			t.Fatalf("query %d: candidates diverge after round trip", i)
+		}
+	}
+	if !reflect.DeepEqual(got.Table(), tab) {
+		t.Error("re-snapshot of the reconstructed index differs — table form is not canonical")
+	}
+}
+
+// TestMaxContribValuesRoundTrip pins Values → MaxContribFromValues and
+// checks the copies are independent.
+func TestMaxContribValuesRoundTrip(t *testing.T) {
+	c := NewMaxContrib(16)
+	for i := 0; i < 16; i++ {
+		c.Note(uint32(i), float32(i)*0.25)
+		c.Note(uint32(i), float32(i)*0.125) // smaller, must not stick
+	}
+	vals := c.Values()
+	got := MaxContribFromValues(vals)
+	if got.Dims() != c.Dims() {
+		t.Fatalf("dims = %d, want %d", got.Dims(), c.Dims())
+	}
+	for i := 0; i < 16; i++ {
+		if got.Get(uint32(i)) != c.Get(uint32(i)) {
+			t.Fatalf("idx %d: %v != %v", i, got.Get(uint32(i)), c.Get(uint32(i)))
+		}
+	}
+	vals[3] = 99
+	if got.Get(3) == 99 || c.Get(3) == 99 {
+		t.Error("Values/FromValues share backing storage with the caller")
+	}
+}

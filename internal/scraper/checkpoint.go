@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"darklight/internal/forum"
+	"darklight/internal/store"
 )
 
 // openCheckpoint loads the journal named by Options.CheckpointPath (empty
@@ -33,7 +34,10 @@ func (s *Scraper) openCheckpoint() (map[string][]forum.Message, func(), error) {
 	// Rewrite the journal as exactly the records just accepted before
 	// appending: a kill mid-append leaves a torn final line, and appending
 	// straight after it would fuse the tear with the next record into
-	// mid-file corruption a future resume must reject.
+	// mid-file corruption a future resume must reject. The rewrite goes
+	// through a sibling tmp file + fsync + atomic rename — an in-place
+	// os.WriteFile would truncate first, so a crash mid-rewrite would
+	// destroy the whole journal instead of just the tear it was dropping.
 	var clean bytes.Buffer
 	for i := range recs {
 		if err := forum.WriteThreadRecord(&clean, &recs[i]); err != nil {
@@ -43,7 +47,7 @@ func (s *Scraper) openCheckpoint() (map[string][]forum.Message, func(), error) {
 	if clean.Len() != len(raw) {
 		mCkptCompact.Inc()
 	}
-	if err := os.WriteFile(s.opts.CheckpointPath, clean.Bytes(), 0o644); err != nil {
+	if err := store.WriteFileAtomic(s.opts.CheckpointPath, clean.Bytes(), 0o644); err != nil {
 		return nil, func() {}, fmt.Errorf("scraper: checkpoint %s: %w", s.opts.CheckpointPath, err)
 	}
 	f, err := os.OpenFile(s.opts.CheckpointPath, os.O_WRONLY|os.O_APPEND, 0o644)

@@ -1,6 +1,7 @@
 package scraper
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"net/http"
@@ -470,5 +471,108 @@ func TestScrapeResumeToleratesTornJournal(t *testing.T) {
 	}
 	if st := sc.Stats(); st.Resumed != 1 {
 		t.Errorf("Resumed = %d, want 1 (the intact record)", st.Resumed)
+	}
+}
+
+func TestCheckpointCompactionIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "crawl.jsonl")
+	t0 := time.Date(2017, 5, 1, 10, 0, 0, 0, time.UTC)
+	recs := []forum.ThreadRecord{
+		{Thread: "t0", Messages: []forum.Message{{ID: "m0", Author: "eve", Thread: "t0", Body: "first record", PostedAt: t0}}},
+		{Thread: "t1", Messages: []forum.Message{{ID: "m1", Author: "mallory", Thread: "t1", Body: "second record", PostedAt: t0.Add(time.Hour)}}},
+	}
+	var clean bytes.Buffer
+	for i := range recs {
+		if err := forum.WriteThreadRecord(&clean, &recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A kill mid-append leaves a torn final line after the intact records.
+	torn := append(append([]byte{}, clean.Bytes()...), []byte(`{"thread":"t2","mess`)...)
+	if err := os.WriteFile(ckpt, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc := New("http://unused.invalid", Options{CheckpointPath: ckpt})
+	done, closeCkpt, err := sc.openCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeCkpt()
+	if len(done) != 2 || done["t0"] == nil || done["t1"] == nil {
+		t.Fatalf("resume loaded %d threads, want the 2 intact records", len(done))
+	}
+
+	// The compacted journal must have been renamed into place, not
+	// truncated and rewritten through the live inode: an in-place rewrite
+	// means a crash mid-write destroys every record, not just the tear.
+	after, err := os.Stat(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.SameFile(before, after) {
+		t.Error("compaction rewrote the journal in place (same inode); want sibling tmp + atomic rename")
+	}
+	got, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, clean.Bytes()) {
+		t.Errorf("compacted journal is not exactly the intact records:\ngot  %q\nwant %q", got, clean.Bytes())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("compaction left stray siblings behind: %v", names)
+	}
+}
+
+func TestScrapeResumeSurvivesCrashMidCompaction(t *testing.T) {
+	original := sampleDataset()
+	ts := serveDataset(t, original, darkweb.Options{})
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "crawl.jsonl")
+
+	full := New(ts.URL, Options{CheckpointPath: ckpt})
+	want, err := full.Scrape(context.Background(), "scraped", forum.PlatformTheMajesticGarden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The crash window of the atomic protocol: the sibling tmp exists,
+	// partially written, and the rename never happened. The journal itself
+	// is untouched, so a resume must still see every record — under the
+	// old in-place rewrite the same crash left a truncated journal and
+	// lost the whole crawl state.
+	stray := filepath.Join(dir, "crawl.jsonl.tmp-12345")
+	if err := os.WriteFile(stray, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := New(ts.URL, Options{CheckpointPath: ckpt})
+	got, err := sc.Scrape(context.Background(), "scraped", forum.PlatformTheMajesticGarden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("crawl resumed across a simulated crash mid-compaction diverged")
+	}
+	if st := sc.Stats(); st.Resumed == 0 {
+		t.Error("intact journal ignored after simulated crash mid-compaction")
 	}
 }

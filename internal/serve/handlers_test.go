@@ -23,11 +23,16 @@ func TestHandlerTable(t *testing.T) {
 	sharedHandler := shared.Handler()
 
 	// limited: burst-1 limiter for the rate-limited rows. A fresh service
-	// per row keeps the bucket state independent of row order.
-	newLimited := func(t *testing.T) http.Handler {
+	// per row keeps the bucket state independent of row order. noAuth
+	// drops the API-key allowlist, the open-deployment configuration the
+	// bypass row exercises.
+	newLimited := func(t *testing.T, noAuth bool) http.Handler {
 		svc := newTestService(t, newFakeClock(), func(c *Config) {
 			c.RatePerSec = 1
 			c.Burst = 1
+			if noAuth {
+				c.APIKeys = nil
+			}
 		})
 		return svc.Handler()
 	}
@@ -42,7 +47,9 @@ func TestHandlerTable(t *testing.T) {
 		method     string
 		apiKey     string
 		body       string
-		rateLimit  bool // run against a fresh burst-1 service, second request
+		rateLimit  bool   // run against a fresh burst-1 service, second request
+		noAuth     bool   // rateLimit service runs without an API-key allowlist
+		primeKey   string // API key for the priming request; "" = apiKey
 		wantStatus int
 		wantRetry  string // expected Retry-After header, "" = none
 	}
@@ -56,6 +63,11 @@ func TestHandlerTable(t *testing.T) {
 		{name: "rank_missing_auth", endpoint: "rank", method: "POST", apiKey: "", body: `{"subject":` + validSubject + `}`, wantStatus: 401},
 		{name: "rank_bad_api_key", endpoint: "rank", method: "POST", apiKey: "wrong-key", body: `{"subject":` + validSubject + `}`, wantStatus: 403},
 		{name: "rank_rate_limited", endpoint: "rank", method: "POST", apiKey: "test-key", body: `{"subject":` + validSubject + `}`, rateLimit: true, wantStatus: 429, wantRetry: "1"},
+		// With auth disabled, minting a fresh X-API-Key per request must NOT
+		// mint a fresh bucket: both requests land on the remote-host bucket,
+		// so the second is refused. (The old code keyed the limiter on the
+		// unvalidated header, letting any caller bypass the limit.)
+		{name: "rank_rate_limit_bypass", endpoint: "rank", method: "POST", apiKey: "minted-key-2", primeKey: "minted-key-1", body: `{"subject":` + validSubject + `}`, rateLimit: true, noAuth: true, wantStatus: 429, wantRetry: "1"},
 		{name: "rank_oversized_body", endpoint: "rank", method: "POST", apiKey: "test-key", body: bigBody, wantStatus: 413},
 		{name: "rank_unknown_alias", endpoint: "rank", method: "POST", apiKey: "test-key", body: `{"subject":{"alias":"nobody"}}`, wantStatus: 404},
 		{name: "rank_negative_k", endpoint: "rank", method: "POST", apiKey: "test-key", body: `{"subject":` + validSubject + `,"k":-1}`, wantStatus: 400},
@@ -106,10 +118,14 @@ func TestHandlerTable(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			h := sharedHandler
 			if tc.rateLimit {
-				h = newLimited(t)
+				h = newLimited(t, tc.noAuth)
 				// Burn the single burst token; the recorded request is the
 				// refused second one.
-				first := do(h, tc.method, "/v1/"+tc.endpoint, tc.apiKey, []byte(tc.body))
+				primeKey := tc.primeKey
+				if primeKey == "" {
+					primeKey = tc.apiKey
+				}
+				first := do(h, tc.method, "/v1/"+tc.endpoint, primeKey, []byte(tc.body))
 				if first.Code != 200 {
 					t.Fatalf("priming request: status %d, want 200 (body %s)", first.Code, first.Body.Bytes())
 				}

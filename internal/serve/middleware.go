@@ -81,14 +81,20 @@ func (s *Service) serveOne(r *http.Request, st *state, mode endpointMode, h hand
 	if r.Method != mode.method {
 		return nil, &Error{Code: CodeMethodNotAllowed, Message: "use " + mode.method, Status: http.StatusMethodNotAllowed}
 	}
-	key := r.Header.Get("X-API-Key")
+	presented := r.Header.Get("X-API-Key")
+	// key stays empty unless auth actually validated the header: when auth
+	// is disabled the X-API-Key value is attacker-controlled, and keying
+	// the limiter on it would let a caller mint a fresh bucket per request
+	// — a full rate-limit bypass that also inflates the bucket map.
+	key := ""
 	if mode.auth && s.keys != nil {
-		if key == "" {
+		if presented == "" {
 			return nil, &Error{Code: CodeUnauthorized, Message: "missing X-API-Key header", Status: http.StatusUnauthorized}
 		}
-		if _, ok := s.keys[key]; !ok {
+		if _, ok := s.keys[presented]; !ok {
 			return nil, &Error{Code: CodeInvalidAPIKey, Message: "the presented API key is not recognised", Status: http.StatusForbidden}
 		}
+		key = presented
 	}
 	if mode.limit {
 		if ok, wait := s.limiter.allow(clientKey(key, r)); !ok {
@@ -116,8 +122,8 @@ func (s *Service) serveOne(r *http.Request, st *state, mode endpointMode, h hand
 	return h(r, st, body)
 }
 
-// clientKey identifies the rate-limit bucket: the API key when presented,
-// else the remote host (auth-disabled deployments).
+// clientKey identifies the rate-limit bucket: the API key when auth has
+// validated it, else the remote host (auth-disabled deployments).
 func clientKey(apiKey string, r *http.Request) string {
 	if apiKey != "" {
 		return apiKey

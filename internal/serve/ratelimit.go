@@ -14,8 +14,9 @@ type rateLimiter struct {
 	burst float64
 	clock Clock
 
-	mu      sync.Mutex
-	buckets map[string]*bucket
+	mu        sync.Mutex
+	buckets   map[string]*bucket
+	lastSweep time.Time
 }
 
 type bucket struct {
@@ -49,6 +50,7 @@ func (l *rateLimiter) allow(key string) (bool, time.Duration) {
 	now := l.clock.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.sweep(now)
 	b, ok := l.buckets[key]
 	if !ok {
 		b = &bucket{tokens: l.burst, last: now}
@@ -67,4 +69,41 @@ func (l *rateLimiter) allow(key string) (bool, time.Duration) {
 	}
 	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
 	return false, wait
+}
+
+// idleWindow is how long an untouched bucket takes to refill completely
+// from empty: burst/rate seconds. A bucket idle at least that long is
+// indistinguishable from a fresh one, so evicting it is lossless — the
+// next request recreates it at full burst, exactly what refill would have
+// produced.
+func (l *rateLimiter) idleWindow() time.Duration {
+	return time.Duration(l.burst / l.rate * float64(time.Second))
+}
+
+// sweep evicts buckets idle for at least one full refill window. It runs
+// at most once per window so the cost is amortised: the map is bounded by
+// the number of distinct clients seen during any single window, not the
+// lifetime of the daemon. Called with l.mu held.
+func (l *rateLimiter) sweep(now time.Time) {
+	idle := l.idleWindow()
+	if l.lastSweep.IsZero() {
+		l.lastSweep = now
+		return
+	}
+	if now.Sub(l.lastSweep) < idle {
+		return
+	}
+	l.lastSweep = now
+	for key, b := range l.buckets {
+		if now.Sub(b.last) >= idle {
+			delete(l.buckets, key)
+		}
+	}
+}
+
+// numBuckets reports the current map size (test hook).
+func (l *rateLimiter) numBuckets() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
 }

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestRateLimiterEvictsIdleBuckets pins the bucket map size under key
+// churn. Before eviction the map held one entry per distinct key for the
+// life of the daemon, so a scan of unauthenticated hosts (or minted API
+// keys) grew it without bound.
+func TestRateLimiterEvictsIdleBuckets(t *testing.T) {
+	clock := newFakeClock()
+	l := newRateLimiter(1, 1, clock) // idle window = burst/rate = 1s
+
+	const churn = 1000
+	maxSeen := 0
+	for i := 0; i < churn; i++ {
+		ok, _ := l.allow(fmt.Sprintf("host-%d", i))
+		if !ok {
+			t.Fatalf("fresh key %d denied", i)
+		}
+		if n := l.numBuckets(); n > maxSeen {
+			maxSeen = n
+		}
+		clock.Advance(100 * time.Millisecond)
+	}
+
+	// Each sweep (once per 1s window) clears every bucket older than the
+	// window; at 10 keys/second the live set can never exceed two windows'
+	// worth of clients plus slack. Without eviction maxSeen == churn.
+	const bound = 25
+	if maxSeen > bound {
+		t.Errorf("bucket map peaked at %d entries over %d churned keys, want <= %d (idle buckets never evicted?)", maxSeen, churn, bound)
+	}
+}
+
+// TestRateLimiterEvictionIsLossless verifies eviction cannot change any
+// admission decision: a bucket is only dropped once idle long enough to
+// have refilled to full burst, which is exactly the state a recreated
+// bucket starts in.
+func TestRateLimiterEvictionIsLossless(t *testing.T) {
+	clock := newFakeClock()
+	l := newRateLimiter(1, 2, clock) // idle window = 2s
+
+	// Exhaust the bucket.
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("client"); !ok {
+			t.Fatalf("request %d denied with tokens available", i)
+		}
+	}
+	if ok, wait := l.allow("client"); ok || wait != time.Second {
+		t.Fatalf("empty bucket: allow = %v wait = %v, want denied with 1s retry", ok, wait)
+	}
+
+	// After a full idle window the bucket may or may not have been swept —
+	// either way the client must get exactly burst tokens back, no more.
+	clock.Advance(2 * time.Second)
+	// Touch another key so a sweep actually runs before the client returns.
+	if ok, _ := l.allow("other"); !ok {
+		t.Fatal("fresh key denied")
+	}
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("client"); !ok {
+			t.Fatalf("request %d after refill window denied — eviction lost tokens", i)
+		}
+	}
+	if ok, _ := l.allow("client"); ok {
+		t.Error("third request after refill allowed — eviction granted extra tokens")
+	}
+}
+
+// TestRateLimiterKeepsActiveBuckets verifies a client that stays active
+// is never evicted mid-conversation: its partial-refill state survives
+// sweeps.
+func TestRateLimiterKeepsActiveBuckets(t *testing.T) {
+	clock := newFakeClock()
+	l := newRateLimiter(1, 4, clock) // idle window = 4s
+
+	// Exhaust the bucket at t=0, then spend one of the two tokens accrued
+	// by t=2s: tokens = 1, last = 2s.
+	for i := 0; i < 4; i++ {
+		if ok, _ := l.allow("steady"); !ok {
+			t.Fatalf("request %d denied with tokens available", i)
+		}
+	}
+	clock.Advance(2 * time.Second)
+	if ok, _ := l.allow("steady"); !ok {
+		t.Fatal("accrued token missing at t=2s")
+	}
+
+	// t=4.5s: the bystander triggers a sweep (4.5s past the last one), but
+	// steady has only been idle 2.5s < 4s and must survive with its partial
+	// state: 1 banked + 2.5 accrued = 3 tokens, not a fresh bucket's 4.
+	clock.Advance(2500 * time.Millisecond)
+	l.allow("bystander")
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.allow("steady"); !ok {
+			t.Fatalf("banked token %d missing — active bucket evicted mid-conversation", i)
+		}
+	}
+	if ok, _ := l.allow("steady"); ok {
+		t.Error("4th token granted — partially drained bucket was reset to full burst")
+	}
+}

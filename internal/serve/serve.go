@@ -18,6 +18,11 @@ import (
 type Corpus struct {
 	Known []attribution.Subject
 	Query []attribution.Subject
+	// Matcher, when non-nil, is a pre-built index over exactly Known — for
+	// example one cold-started from an internal/store snapshot — and is
+	// installed as-is instead of re-indexing Known. The Options the matcher
+	// was built with win over Config.Options.
+	Matcher *attribution.Matcher
 }
 
 // Loader produces the corpus. It runs once at startup and again on every
@@ -167,9 +172,12 @@ func (s *Service) build(ctx context.Context, version int) (*state, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: load corpus: %w", err)
 	}
-	m, err := attribution.NewMatcherContext(ctx, c.Known, s.cfg.Options)
-	if err != nil {
-		return nil, fmt.Errorf("serve: index corpus: %w", err)
+	m := c.Matcher
+	if m == nil {
+		m, err = attribution.NewMatcherContext(ctx, c.Known, s.cfg.Options)
+		if err != nil {
+			return nil, fmt.Errorf("serve: index corpus: %w", err)
+		}
 	}
 	st := &state{
 		version:  version,

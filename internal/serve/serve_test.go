@@ -201,6 +201,33 @@ func newTestService(t testing.TB, clock Clock, mutate func(*Config)) *Service {
 	return svc
 }
 
+// TestLoaderSuppliedMatcher: a loader that hands back a pre-built matcher
+// (the internal/store cold-start path) must have it installed verbatim —
+// no rebuild — and answer queries identically to a service that indexed
+// the same subjects itself.
+func TestLoaderSuppliedMatcher(t *testing.T) {
+	corpus := testCorpus(t)
+	pre, err := attribution.NewMatcher(corpus.Known, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := newTestService(t, newFakeClock(), func(c *Config) {
+		c.Loader = func(context.Context) (*Corpus, error) {
+			return &Corpus{Known: corpus.Known, Query: corpus.Query, Matcher: pre}, nil
+		}
+	})
+	if got := svc.state.Load().matcher; got != pre {
+		t.Fatal("service rebuilt the index instead of installing the loader's matcher")
+	}
+	plain := newTestService(t, newFakeClock(), nil)
+	body := []byte(`{"subject":{"alias":"q_alice"},"k":3}`)
+	a := do(svc.Handler(), http.MethodPost, "/v1/rank", "test-key", body)
+	b := do(plain.Handler(), http.MethodPost, "/v1/rank", "test-key", body)
+	if a.Code != http.StatusOK || a.Body.String() != b.Body.String() {
+		t.Fatalf("prebuilt-matcher service diverges:\n%d %s\nvs %s", a.Code, a.Body.String(), b.Body.String())
+	}
+}
+
 // do issues one in-process request and returns the recorder.
 func do(h http.Handler, method, path, apiKey string, body []byte) *httptest.ResponseRecorder {
 	req := httptest.NewRequest(method, path, bytes.NewReader(body))

@@ -1,0 +1,160 @@
+package store
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"darklight/internal/attribution"
+	"darklight/internal/prefilter"
+)
+
+// snapshotLayout walks the framing and returns, per section, the offset
+// of a byte in the middle of its payload — the walker is deliberately
+// independent of the reader type so a framing bug cannot hide itself.
+func snapshotLayout(t testing.TB, raw []byte) map[string]int {
+	t.Helper()
+	off := len(magic)
+	u32 := func() int {
+		v := binary.LittleEndian.Uint32(raw[off:])
+		off += 4
+		return int(v)
+	}
+	u64 := func() int {
+		v := binary.LittleEndian.Uint64(raw[off:])
+		off += 8
+		return int(v)
+	}
+	if v := u32(); v != formatVersion {
+		t.Fatalf("layout walker: format version %d", v)
+	}
+	count := u32()
+	off += 8 + 8 + digestLen // index version, last seq, corpus digest
+	layout := make(map[string]int, count)
+	for i := 0; i < count; i++ {
+		nameLen := u32()
+		name := string(raw[off : off+nameLen])
+		off += nameLen
+		payloadLen := u64()
+		off += digestLen
+		layout[name] = off + payloadLen/2
+		off += payloadLen
+	}
+	if off != len(raw) {
+		t.Fatalf("layout walker consumed %d of %d bytes", off, len(raw))
+	}
+	return layout
+}
+
+func smallSnapshot(t testing.TB) []byte {
+	rng := rand.New(rand.NewSource(8400))
+	ds := testDataset(rng, "c", 10)
+	opts, subjOpts := testBuildOptions()
+	idx, err := BuildIndex(context.Background(), ds, opts, subjOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch LSH so every section, including secLSH, has real content.
+	idx.Matcher.RankDetailed(&idx.Subjects[0], attribution.MatchOptions{K: 3, Mode: prefilter.ModeLSH})
+	raw, err := encodeIndex(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestCorruptionNamesEverySection: flip one byte in the middle of each
+// section's payload; the load must fail with a *CorruptError naming
+// exactly that section — never a panic, never a silently wrong index.
+func TestCorruptionNamesEverySection(t *testing.T) {
+	raw := smallSnapshot(t)
+	layout := snapshotLayout(t, raw)
+	wantSections := []string{
+		secOptions, secCorpus, secSubjects, secVocab, secStats,
+		secDocs, secProfiles, secPostings, secMaxContrib, secLSH,
+	}
+	if len(layout) != len(wantSections) {
+		t.Fatalf("snapshot has %d sections, want %d", len(layout), len(wantSections))
+	}
+	for _, name := range wantSections {
+		off, ok := layout[name]
+		if !ok {
+			t.Fatalf("section %q missing from snapshot", name)
+		}
+		mutated := append([]byte(nil), raw...)
+		mutated[off] ^= 0x40
+		_, err := decodeIndex(mutated)
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Errorf("section %q: flipped byte returned %v, want *CorruptError", name, err)
+			continue
+		}
+		if ce.Section != name {
+			t.Errorf("section %q: error names section %q: %v", name, ce.Section, ce)
+		}
+	}
+}
+
+// TestCorruptionHeaderAndTruncation covers the non-payload failure modes:
+// a damaged magic/header, truncation at every region boundary, and
+// trailing garbage. All must produce structured errors.
+func TestCorruptionHeaderAndTruncation(t *testing.T) {
+	raw := smallSnapshot(t)
+
+	mutated := append([]byte(nil), raw...)
+	mutated[0] ^= 0x40 // magic
+	var ce *CorruptError
+	if _, err := decodeIndex(mutated); !errors.As(err, &ce) || ce.Section != "header" {
+		t.Errorf("bad magic: got %v, want header CorruptError", mutatedErr(err))
+	}
+	mutated = append([]byte(nil), raw...)
+	mutated[len(magic)] ^= 0xFF // format version
+	if _, err := decodeIndex(mutated); !errors.As(err, &ce) || ce.Section != "header" {
+		t.Errorf("bad version: got %v, want header CorruptError", mutatedErr(err))
+	}
+
+	for _, cut := range []int{0, 4, len(magic) + 9, len(raw) / 3, len(raw) / 2, len(raw) - 1} {
+		if _, err := decodeIndex(raw[:cut]); !errors.As(err, &ce) {
+			t.Errorf("truncation at %d: got %v, want *CorruptError", cut, err)
+		}
+	}
+
+	if _, err := decodeIndex(append(append([]byte(nil), raw...), 0xAB)); !errors.As(err, &ce) || ce.Section != "trailer" {
+		t.Errorf("trailing byte: got %v, want trailer CorruptError", mutatedErr(err))
+	}
+
+	// And the pristine bytes still decode — the mutations above worked on
+	// copies.
+	if _, err := decodeIndex(raw); err != nil {
+		t.Fatalf("pristine snapshot no longer decodes: %v", err)
+	}
+}
+
+func mutatedErr(err error) error {
+	if err == nil {
+		return errors.New("<nil: snapshot accepted>")
+	}
+	return err
+}
+
+// TestLoadFillsPath: corruption surfaced through Store.Load carries the
+// snapshot path for the operator.
+func TestLoadFillsPath(t *testing.T) {
+	raw := smallSnapshot(t)
+	layout := snapshotLayout(t, raw)
+	raw[layout[secVocab]] ^= 0x01
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(st.SnapshotPath(), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = st.Load()
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Path != st.SnapshotPath() || ce.Section != secVocab {
+		t.Fatalf("Load on corrupt snapshot: %v, want vocab CorruptError with path", err)
+	}
+}

@@ -1,0 +1,85 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"darklight/internal/forum"
+)
+
+// The journal is the snapshot's write-ahead side: one JSON line per
+// scraped thread delta, each stamped with a monotonically increasing
+// sequence number. The snapshot records the last sequence it has folded
+// in (header.LastSeq), so crash recovery is idempotent — cold start
+// loads the snapshot and replays only entries above LastSeq, whether or
+// not the previous process got around to compacting.
+//
+// Torn-tail discipline follows forum.ReadCheckpoint: a kill mid-append
+// leaves a final line that does not decode, and exactly that line is
+// dropped; an undecodable line anywhere else is mid-file corruption and
+// fails the load with a structured error.
+
+// JournalEntry is one appended thread delta.
+type JournalEntry struct {
+	Seq    uint64             `json:"seq"`
+	Thread forum.ThreadRecord `json:"thread"`
+}
+
+// maxJournalLine bounds one journal line (a full thread of posts).
+const maxJournalLine = 1 << 24
+
+// readJournal parses raw journal bytes, dropping at most a torn final
+// line. It returns the entries and the number of bytes the intact prefix
+// spans (for compaction). Errors are *CorruptError with Section
+// "journal".
+func readJournal(raw []byte) ([]JournalEntry, int, error) {
+	var entries []JournalEntry
+	intact := 0
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 0, 64*1024), maxJournalLine)
+	lineNo := 0
+	badLine := 0 // 1-based line number of the first undecodable line
+	var lastSeq uint64
+	for sc.Scan() {
+		lineNo++
+		if badLine != 0 {
+			// A decodable line after a bad one: the tear is mid-file.
+			return nil, 0, corrupt("journal", "line %d: corrupt record", badLine)
+		}
+		line := sc.Bytes()
+		var e JournalEntry
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&e); err != nil {
+			badLine = lineNo
+			continue
+		}
+		if e.Seq <= lastSeq {
+			return nil, 0, corrupt("journal", "line %d: sequence %d not increasing (previous %d)", lineNo, e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		entries = append(entries, e)
+		intact += len(line) + 1
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, corrupt("journal", "scan: %v", err)
+	}
+	return entries, intact, nil
+}
+
+// appendJournalLine encodes one entry as a single JSON line.
+func appendJournalLine(f *os.File, e JournalEntry) error {
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(&e); err != nil {
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	// The delta must be durable before the scrape acknowledges the thread;
+	// otherwise a crash could lose a delta the snapshot will never see.
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: journal sync: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,522 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"time"
+
+	"darklight/internal/activity"
+	"darklight/internal/attribution"
+	"darklight/internal/features"
+	"darklight/internal/forum"
+	"darklight/internal/prefilter"
+)
+
+// Index is one immutable generation of the attribution state: the corpus
+// it was built from, the subjects derived from it, the fully-built
+// matcher, and the journal position already folded in. A Store persists
+// and reloads it; Replay derives the next generation from it.
+type Index struct {
+	// Version is the snapshot generation, bumped on every Save.
+	Version uint64
+	// LastSeq is the journal sequence number already folded into this
+	// index; replay skips entries at or below it.
+	LastSeq uint64
+	// Dataset is the full corpus in canonical (name-sorted) order.
+	Dataset *forum.Dataset
+	// Subjects are the attribution subjects built from Dataset, aligned
+	// with the matcher's known set.
+	Subjects []attribution.Subject
+	// Matcher is the built (incremental) index over Subjects.
+	Matcher *attribution.Matcher
+	// Digest is the hex SHA-256 of the canonical corpus JSONL.
+	Digest string
+}
+
+// Section names, in file order.
+const (
+	secOptions    = "options"
+	secCorpus     = "corpus"
+	secSubjects   = "subjects"
+	secVocab      = "vocab"
+	secStats      = "stats"
+	secDocs       = "docs"
+	secProfiles   = "profiles"
+	secPostings   = "postings"
+	secMaxContrib = "maxcontrib"
+	secLSH        = "lsh"
+)
+
+// encodeIndex serialises the index to the framed snapshot format.
+func encodeIndex(idx *Index) ([]byte, error) {
+	st, err := idx.Matcher.State()
+	if err != nil {
+		return nil, err
+	}
+	optsJSON, err := json.Marshal(st.Opts)
+	if err != nil {
+		return nil, err
+	}
+	var corpus bytes.Buffer
+	if err := forum.WriteJSONL(&corpus, idx.Dataset); err != nil {
+		return nil, err
+	}
+
+	var sections []section
+	add := func(name string, payload []byte) {
+		sections = append(sections, section{name: name, payload: payload})
+	}
+
+	add(secOptions, optsJSON)
+
+	var cw writer
+	cw.str(idx.Dataset.Name)
+	cw.str(idx.Dataset.Platform.String())
+	cw.blob(corpus.Bytes())
+	add(secCorpus, cw.b)
+
+	var sw writer
+	sw.u32(uint32(len(idx.Subjects)))
+	for i := range idx.Subjects {
+		s := &idx.Subjects[i]
+		sw.str(s.Name)
+		sw.str(s.Text)
+		sw.u32(uint32(len(s.Timestamps)))
+		for _, ts := range s.Timestamps {
+			sw.i64(ts.UnixNano())
+		}
+		if p := s.Activity; p != nil {
+			sw.u8(1)
+			for _, b := range p.Bins {
+				sw.f64(b)
+			}
+			sw.i64(int64(p.Samples))
+			sw.i64(int64(p.ActiveBins))
+		} else {
+			sw.u8(0)
+		}
+	}
+	add(secSubjects, sw.b)
+
+	vocabJSON, err := json.Marshal(st.Vocab.Config)
+	if err != nil {
+		return nil, err
+	}
+	var vw writer
+	vw.blob(vocabJSON)
+	vw.i64(int64(st.Vocab.NumDocs))
+	vw.u32(uint32(len(st.Vocab.Words)))
+	for _, g := range st.Vocab.Words {
+		vw.u64(uint64(g))
+	}
+	for _, f := range st.Vocab.WordIDF {
+		vw.f64(f)
+	}
+	vw.u32(uint32(len(st.Vocab.Chars)))
+	for _, g := range st.Vocab.Chars {
+		vw.u64(uint64(g))
+	}
+	for _, f := range st.Vocab.CharIDF {
+		vw.f64(f)
+	}
+	add(secVocab, vw.b)
+
+	statsJSON, err := json.Marshal(st.Stats.Config)
+	if err != nil {
+		return nil, err
+	}
+	var tw writer
+	tw.blob(statsJSON)
+	tw.i64(int64(st.Stats.NumDocs))
+	for _, c := range st.Stats.FreqSeen {
+		tw.i64(int64(c))
+	}
+	writeGramCounts := func(gcs []features.GramCount) {
+		tw.u32(uint32(len(gcs)))
+		for _, gc := range gcs {
+			tw.u64(uint64(gc.ID))
+			tw.i64(gc.Freq)
+			tw.i64(gc.DF)
+		}
+	}
+	writeGramCounts(st.Stats.Words)
+	writeGramCounts(st.Stats.Chars)
+	add(secStats, tw.b)
+
+	var dw writer
+	dw.u32(uint32(len(st.Docs)))
+	for _, d := range st.Docs {
+		dw.u32(uint32(len(d.WordGrams)))
+		for _, e := range d.WordGrams {
+			dw.u64(uint64(e.ID))
+			dw.u32(uint32(e.Count))
+		}
+		dw.u32(uint32(len(d.CharGrams)))
+		for _, e := range d.CharGrams {
+			dw.u64(uint64(e.ID))
+			dw.u32(uint32(e.Count))
+		}
+		dw.i64(int64(d.WordTotal))
+		dw.i64(int64(d.CharTotal))
+		for _, f := range d.Freq {
+			dw.f64(f)
+		}
+		dw.i64(int64(d.TotalChars))
+	}
+	add(secDocs, dw.b)
+
+	var pw writer
+	pw.u32(uint32(len(st.Mask)))
+	for i := range st.Mask {
+		pw.u8(st.Mask[i])
+		writeDense := func(v []float64) {
+			if v == nil {
+				pw.u8(0)
+				return
+			}
+			pw.u8(1)
+			pw.u32(uint32(len(v)))
+			for _, f := range v {
+				pw.f64(f)
+			}
+		}
+		writeDense(st.Freqs[i])
+		writeDense(st.Acts[i])
+	}
+	add(secProfiles, pw.b)
+
+	var fw writer
+	fw.u32(uint32(len(st.FwdIdx)))
+	for i := range st.FwdIdx {
+		fw.u32(uint32(len(st.FwdIdx[i])))
+		for _, id := range st.FwdIdx[i] {
+			fw.u32(id)
+		}
+		for _, v := range st.FwdVal[i] {
+			fw.f32(v)
+		}
+	}
+	add(secPostings, fw.b)
+
+	var mw writer
+	mw.u32(uint32(len(st.MaxContrib)))
+	for _, v := range st.MaxContrib {
+		mw.f32(v)
+	}
+	add(secMaxContrib, mw.b)
+
+	var lw writer
+	lw.u32(uint32(len(st.LSH)))
+	for _, t := range st.LSH {
+		lw.i64(int64(t.Params.Bands))
+		lw.i64(int64(t.Params.Rows))
+		lw.u64(t.Params.Seed)
+		lw.u32(uint32(len(t.Bands)))
+		for _, bt := range t.Bands {
+			lw.u32(uint32(len(bt.Keys)))
+			for _, k := range bt.Keys {
+				lw.u64(k)
+			}
+			for _, o := range bt.Offsets {
+				lw.u32(o)
+			}
+			lw.u32(uint32(len(bt.IDs)))
+			for _, id := range bt.IDs {
+				lw.u32(uint32(id))
+			}
+		}
+	}
+	add(secLSH, lw.b)
+
+	corpusDigest := sha256.Sum256(corpus.Bytes())
+	h := header{IndexVersion: idx.Version, LastSeq: idx.LastSeq, CorpusDigest: corpusDigest}
+	return encodeSnapshot(h, sections), nil
+}
+
+// decodeIndex parses and verifies a snapshot. Every structural failure is
+// a *CorruptError naming the offending section.
+func decodeIndex(raw []byte) (*Index, error) {
+	h, sections, err := decodeSnapshot(raw)
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string][]byte, len(sections))
+	for _, s := range sections {
+		byName[s.name] = s.payload
+	}
+	need := func(name string) ([]byte, error) {
+		p, ok := byName[name]
+		if !ok {
+			return nil, corrupt(name, "section missing")
+		}
+		return p, nil
+	}
+
+	var st attribution.IndexState
+	optsRaw, err := need(secOptions)
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(optsRaw, &st.Opts); err != nil {
+		return nil, corrupt(secOptions, "bad options JSON: %v", err)
+	}
+
+	corpusRaw, err := need(secCorpus)
+	if err != nil {
+		return nil, err
+	}
+	cr := &reader{b: corpusRaw}
+	dsName := cr.str()
+	platName := cr.str()
+	corpusJSONL := cr.blob()
+	if !cr.done() {
+		return nil, corrupt(secCorpus, "malformed payload")
+	}
+	if got := sha256.Sum256(corpusJSONL); got != h.CorpusDigest {
+		return nil, corrupt(secCorpus, "corpus digest disagrees with header")
+	}
+	platform, err := forum.ParsePlatform(platName)
+	if err != nil {
+		return nil, corrupt(secCorpus, "unknown platform %q", platName)
+	}
+	ds, err := forum.ReadJSONL(bytes.NewReader(corpusJSONL), dsName, platform)
+	if err != nil {
+		return nil, corrupt(secCorpus, "corpus JSONL: %v", err)
+	}
+
+	subjRaw, err := need(secSubjects)
+	if err != nil {
+		return nil, err
+	}
+	sr := &reader{b: subjRaw}
+	nSubj := sr.lengthBound(8)
+	subjects := make([]attribution.Subject, nSubj)
+	for i := range subjects {
+		s := &subjects[i]
+		s.Name = sr.str()
+		s.Text = sr.str()
+		nts := sr.lengthBound(8)
+		if nts > 0 {
+			s.Timestamps = make([]time.Time, nts)
+			for j := range s.Timestamps {
+				s.Timestamps[j] = time.Unix(0, sr.i64()).UTC()
+			}
+		}
+		if sr.u8() != 0 {
+			p := &activity.Profile{}
+			for j := range p.Bins {
+				p.Bins[j] = sr.f64()
+			}
+			p.Samples = int(sr.i64())
+			p.ActiveBins = int(sr.i64())
+			s.Activity = p
+		}
+	}
+	if !sr.done() {
+		return nil, corrupt(secSubjects, "malformed payload")
+	}
+
+	vocabRaw, err := need(secVocab)
+	if err != nil {
+		return nil, err
+	}
+	vr := &reader{b: vocabRaw}
+	if cfg := vr.blob(); cfg != nil {
+		if err := json.Unmarshal(cfg, &st.Vocab.Config); err != nil {
+			return nil, corrupt(secVocab, "bad config JSON: %v", err)
+		}
+	}
+	st.Vocab.NumDocs = int(vr.i64())
+	nw := vr.lengthBound(16)
+	st.Vocab.Words = make([]features.GramID, nw)
+	for i := range st.Vocab.Words {
+		st.Vocab.Words[i] = features.GramID(vr.u64())
+	}
+	st.Vocab.WordIDF = make([]float64, nw)
+	for i := range st.Vocab.WordIDF {
+		st.Vocab.WordIDF[i] = vr.f64()
+	}
+	nc := vr.lengthBound(16)
+	st.Vocab.Chars = make([]features.GramID, nc)
+	for i := range st.Vocab.Chars {
+		st.Vocab.Chars[i] = features.GramID(vr.u64())
+	}
+	st.Vocab.CharIDF = make([]float64, nc)
+	for i := range st.Vocab.CharIDF {
+		st.Vocab.CharIDF[i] = vr.f64()
+	}
+	if !vr.done() {
+		return nil, corrupt(secVocab, "malformed payload")
+	}
+
+	statsRaw, err := need(secStats)
+	if err != nil {
+		return nil, err
+	}
+	tr := &reader{b: statsRaw}
+	if cfg := tr.blob(); cfg != nil {
+		if err := json.Unmarshal(cfg, &st.Stats.Config); err != nil {
+			return nil, corrupt(secStats, "bad config JSON: %v", err)
+		}
+	}
+	st.Stats.NumDocs = int(tr.i64())
+	for i := range st.Stats.FreqSeen {
+		st.Stats.FreqSeen[i] = int(tr.i64())
+	}
+	readGramCounts := func() []features.GramCount {
+		n := tr.lengthBound(24)
+		out := make([]features.GramCount, n)
+		for i := range out {
+			out[i] = features.GramCount{ID: features.GramID(tr.u64()), Freq: tr.i64(), DF: tr.i64()}
+		}
+		return out
+	}
+	st.Stats.Words = readGramCounts()
+	st.Stats.Chars = readGramCounts()
+	if !tr.done() {
+		return nil, corrupt(secStats, "malformed payload")
+	}
+
+	docsRaw, err := need(secDocs)
+	if err != nil {
+		return nil, err
+	}
+	dr := &reader{b: docsRaw}
+	nDocs := dr.lengthBound(32)
+	st.Docs = make([]*features.SortedDoc, nDocs)
+	for i := range st.Docs {
+		d := &features.SortedDoc{}
+		d.WordGrams = make([]features.GramEntry, dr.lengthBound(12))
+		for j := range d.WordGrams {
+			d.WordGrams[j] = features.GramEntry{ID: features.GramID(dr.u64()), Count: int32(dr.u32())}
+		}
+		d.CharGrams = make([]features.GramEntry, dr.lengthBound(12))
+		for j := range d.CharGrams {
+			d.CharGrams[j] = features.GramEntry{ID: features.GramID(dr.u64()), Count: int32(dr.u32())}
+		}
+		d.WordTotal = int(dr.i64())
+		d.CharTotal = int(dr.i64())
+		for j := range d.Freq {
+			d.Freq[j] = dr.f64()
+		}
+		d.TotalChars = int(dr.i64())
+		st.Docs[i] = d
+	}
+	if !dr.done() {
+		return nil, corrupt(secDocs, "malformed payload")
+	}
+
+	profRaw, err := need(secProfiles)
+	if err != nil {
+		return nil, err
+	}
+	pr := &reader{b: profRaw}
+	nProf := pr.lengthBound(3)
+	st.Mask = make([]uint8, nProf)
+	st.Freqs = make([][]float64, nProf)
+	st.Acts = make([][]float64, nProf)
+	for i := 0; i < nProf; i++ {
+		st.Mask[i] = pr.u8()
+		readDense := func() []float64 {
+			if pr.u8() == 0 {
+				return nil
+			}
+			n := pr.lengthBound(8)
+			out := make([]float64, n)
+			for j := range out {
+				out[j] = pr.f64()
+			}
+			return out
+		}
+		st.Freqs[i] = readDense()
+		st.Acts[i] = readDense()
+	}
+	if !pr.done() {
+		return nil, corrupt(secProfiles, "malformed payload")
+	}
+
+	postRaw, err := need(secPostings)
+	if err != nil {
+		return nil, err
+	}
+	fr := &reader{b: postRaw}
+	nFwd := fr.lengthBound(4)
+	st.FwdIdx = make([][]uint32, nFwd)
+	st.FwdVal = make([][]float32, nFwd)
+	for i := 0; i < nFwd; i++ {
+		n := fr.lengthBound(8)
+		ids := make([]uint32, n)
+		for j := range ids {
+			ids[j] = fr.u32()
+		}
+		vals := make([]float32, n)
+		for j := range vals {
+			vals[j] = fr.f32()
+		}
+		st.FwdIdx[i] = ids
+		st.FwdVal[i] = vals
+	}
+	if !fr.done() {
+		return nil, corrupt(secPostings, "malformed payload")
+	}
+
+	mcRaw, err := need(secMaxContrib)
+	if err != nil {
+		return nil, err
+	}
+	mr := &reader{b: mcRaw}
+	st.MaxContrib = make([]float32, mr.lengthBound(4))
+	for i := range st.MaxContrib {
+		st.MaxContrib[i] = mr.f32()
+	}
+	if !mr.done() {
+		return nil, corrupt(secMaxContrib, "malformed payload")
+	}
+
+	lshRaw, err := need(secLSH)
+	if err != nil {
+		return nil, err
+	}
+	lr := &reader{b: lshRaw}
+	nTables := lr.lengthBound(20)
+	st.LSH = make([]prefilter.LSHTable, nTables)
+	for i := range st.LSH {
+		t := &st.LSH[i]
+		t.Params = prefilter.LSHParams{Bands: int(lr.i64()), Rows: int(lr.i64()), Seed: lr.u64()}
+		t.Bands = make([]prefilter.LSHBandTable, lr.lengthBound(8))
+		for b := range t.Bands {
+			bt := &t.Bands[b]
+			nk := lr.lengthBound(12)
+			bt.Keys = make([]uint64, nk)
+			for j := range bt.Keys {
+				bt.Keys[j] = lr.u64()
+			}
+			bt.Offsets = make([]uint32, nk+1)
+			for j := range bt.Offsets {
+				bt.Offsets[j] = lr.u32()
+			}
+			bt.IDs = make([]int32, lr.lengthBound(4))
+			for j := range bt.IDs {
+				bt.IDs[j] = int32(lr.u32())
+			}
+		}
+	}
+	if !lr.done() {
+		return nil, corrupt(secLSH, "malformed payload")
+	}
+
+	matcher, err := attribution.NewMatcherFromState(subjects, st)
+	if err != nil {
+		return nil, corrupt("index", "state rejected: %v", err)
+	}
+	return &Index{
+		Version:  h.IndexVersion,
+		LastSeq:  h.LastSeq,
+		Dataset:  ds,
+		Subjects: subjects,
+		Matcher:  matcher,
+		Digest:   hex.EncodeToString(h.CorpusDigest[:]),
+	}, nil
+}

@@ -1,0 +1,200 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"darklight/internal/forum"
+)
+
+const (
+	snapshotName = "index.snap"
+	journalName  = "journal.jsonl"
+)
+
+// Store manages one index directory: a snapshot file (index.snap, the
+// framed binary format) plus an append-only journal of thread deltas
+// (journal.jsonl). Save replaces the snapshot atomically; AppendThread
+// records deltas durably between saves; on cold start Load + ReadJournal
+// + Replay reconstruct the current index without a full rebuild.
+//
+// A Store serialises its own writers, but there must be only one writing
+// process per directory.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	nextSeq uint64
+}
+
+// Open prepares an index directory, creating it if needed. If a previous
+// process was killed mid-append, the journal's torn final line is
+// repaired (atomically rewritten away) so later appends start on a fresh
+// line; mid-file journal corruption fails Open.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, nextSeq: 1}
+	raw, err := os.ReadFile(s.JournalPath())
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return s, nil
+	case err != nil:
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	entries, intact, jerr := readJournal(raw)
+	if jerr != nil {
+		fillPath(jerr, s.JournalPath())
+		return nil, jerr
+	}
+	if intact < len(raw) {
+		if err := WriteFileAtomic(s.JournalPath(), raw[:intact], 0o644); err != nil {
+			return nil, err
+		}
+	}
+	if n := len(entries); n > 0 {
+		s.nextSeq = entries[n-1].Seq + 1
+	}
+	return s, nil
+}
+
+// Dir reports the directory the store manages.
+func (s *Store) Dir() string { return s.dir }
+
+// SnapshotPath is the snapshot file path inside the store directory.
+func (s *Store) SnapshotPath() string { return filepath.Join(s.dir, snapshotName) }
+
+// JournalPath is the journal file path inside the store directory.
+func (s *Store) JournalPath() string { return filepath.Join(s.dir, journalName) }
+
+// HasSnapshot reports whether a snapshot file exists.
+func (s *Store) HasSnapshot() bool {
+	_, err := os.Stat(s.SnapshotPath())
+	return err == nil
+}
+
+// Save encodes idx and replaces the snapshot file atomically: a crash
+// mid-save leaves the previous snapshot intact.
+func (s *Store) Save(idx *Index) error {
+	raw, err := encodeIndex(idx)
+	if err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	return WriteFileAtomic(s.SnapshotPath(), raw, 0o644)
+}
+
+// Load reads and verifies the snapshot, reassembling a ready-to-serve
+// index. Corruption anywhere — a flipped bit in any section, a truncated
+// file, a mangled payload — surfaces as a *CorruptError naming the
+// section, never a panic or a silently wrong index.
+func (s *Store) Load() (*Index, error) {
+	raw, err := os.ReadFile(s.SnapshotPath())
+	if err != nil {
+		return nil, fmt.Errorf("store: load: %w", err)
+	}
+	idx, err := decodeIndex(raw)
+	if err != nil {
+		fillPath(err, s.SnapshotPath())
+		return nil, err
+	}
+	return idx, nil
+}
+
+// AppendThread durably appends one scraped thread to the journal and
+// returns its sequence number. The line is fsynced before returning, so
+// an acknowledged delta survives a crash.
+func (s *Store) AppendThread(rec forum.ThreadRecord) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := os.OpenFile(s.JournalPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("store: journal open: %w", err)
+	}
+	seq := s.nextSeq
+	if err := appendJournalLine(f, JournalEntry{Seq: seq, Thread: rec}); err != nil {
+		//lint:ignore errdrop the append already failed; close is best-effort cleanup
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("store: journal close: %w", err)
+	}
+	s.nextSeq = seq + 1
+	return seq, nil
+}
+
+// ReadJournal returns the journal entries with sequence numbers above
+// afterSeq (pass an index's LastSeq to get exactly the deltas it has not
+// folded in yet; pass 0 for everything). A torn final line is dropped;
+// corruption anywhere else is a *CorruptError.
+func (s *Store) ReadJournal(afterSeq uint64) ([]JournalEntry, error) {
+	raw, err := os.ReadFile(s.JournalPath())
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return nil, nil
+	case err != nil:
+		return nil, fmt.Errorf("store: journal read: %w", err)
+	}
+	entries, _, jerr := readJournal(raw)
+	if jerr != nil {
+		fillPath(jerr, s.JournalPath())
+		return nil, jerr
+	}
+	if afterSeq == 0 {
+		return entries, nil
+	}
+	kept := entries[:0:0]
+	for _, e := range entries {
+		if e.Seq > afterSeq {
+			kept = append(kept, e)
+		}
+	}
+	return kept, nil
+}
+
+// CompactJournal atomically rewrites the journal keeping only entries
+// with sequence numbers above keepAfter — normally the LastSeq of a
+// snapshot that was just saved. Crashing between Save and CompactJournal
+// is harmless: replay skips the already-folded entries by sequence.
+func (s *Store) CompactJournal(keepAfter uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, err := os.ReadFile(s.JournalPath())
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return nil
+	case err != nil:
+		return fmt.Errorf("store: journal read: %w", err)
+	}
+	entries, _, jerr := readJournal(raw)
+	if jerr != nil {
+		fillPath(jerr, s.JournalPath())
+		return jerr
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range entries {
+		if entries[i].Seq <= keepAfter {
+			continue
+		}
+		if err := enc.Encode(&entries[i]); err != nil {
+			return fmt.Errorf("store: journal compact: %w", err)
+		}
+	}
+	return WriteFileAtomic(s.JournalPath(), buf.Bytes(), 0o644)
+}
+
+// fillPath stamps the file path onto a CorruptError bubbling up from the
+// path-agnostic decode layer.
+func fillPath(err error, path string) {
+	var ce *CorruptError
+	if errors.As(err, &ce) {
+		ce.Path = path
+	}
+}

@@ -1,0 +1,435 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"darklight/internal/attribution"
+	"darklight/internal/forum"
+	"darklight/internal/prefilter"
+)
+
+var storeWordPool = strings.Fields(`vendor ship product quality stealth pack order track refund escrow
+market listing review price gram sample batch pressed lab domestic overnight deal trust feedback account
+bitcoin monero address country customs seizure reship policy vouch thread board post message forum admin
+rule scam alert warning legit fast clean pure strong cheap bulk retail drop dead link mirror onion`)
+
+func testBody(rng *rand.Rand, n int) string {
+	words := make([]string, n)
+	for i := range words {
+		words[i] = storeWordPool[rng.Intn(len(storeWordPool))]
+	}
+	return strings.Join(words, " ")
+}
+
+// testDataset builds a deterministic corpus of n aliases with enough
+// messages and spread-out timestamps that most get activity profiles.
+func testDataset(rng *rand.Rand, name string, n int) *forum.Dataset {
+	ds := forum.NewDataset(name, forum.PlatformTheMajesticGarden)
+	t0 := time.Date(2017, 5, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		a := forum.Alias{Name: fmt.Sprintf("%s-user%03d", name, i)}
+		msgs := 6 + rng.Intn(12)
+		for m := 0; m < msgs; m++ {
+			a.Messages = append(a.Messages, forum.Message{
+				ID:       fmt.Sprintf("%s-%03d-%03d", name, i, m),
+				Author:   a.Name,
+				Thread:   fmt.Sprintf("t%02d", rng.Intn(8)),
+				Body:     testBody(rng, 8+rng.Intn(30)),
+				PostedAt: t0.Add(time.Duration(rng.Intn(90*24)) * time.Hour),
+			})
+		}
+		ds.Add(a)
+	}
+	return ds
+}
+
+func testBuildOptions() (attribution.Options, attribution.SubjectOptions) {
+	opts := attribution.DefaultOptions()
+	opts.Workers = 2
+	return opts, attribution.SubjectOptions{WithActivity: true, Workers: 2}
+}
+
+// testThread invents one scraped thread: some messages from existing
+// authors, some from brand-new ones.
+func testThread(rng *rand.Rand, ds *forum.Dataset, id int) forum.ThreadRecord {
+	rec := forum.ThreadRecord{Thread: fmt.Sprintf("new-thread-%03d", id)}
+	t0 := time.Date(2017, 9, 1, 0, 0, 0, 0, time.UTC)
+	nMsg := 1 + rng.Intn(5)
+	for m := 0; m < nMsg; m++ {
+		var author string
+		if rng.Intn(3) > 0 && ds.Len() > 0 {
+			author = ds.Aliases[rng.Intn(ds.Len())].Name
+		} else {
+			author = fmt.Sprintf("newcomer%02d", rng.Intn(6))
+		}
+		rec.Messages = append(rec.Messages, forum.Message{
+			ID:       fmt.Sprintf("nt%03d-%02d", id, m),
+			Thread:   rec.Thread,
+			Author:   author,
+			Body:     testBody(rng, 6+rng.Intn(25)),
+			PostedAt: t0.Add(time.Duration(rng.Intn(20*24)) * time.Hour),
+		})
+	}
+	return rec
+}
+
+func cloneDataset(ds *forum.Dataset) *forum.Dataset {
+	out := forum.NewDataset(ds.Name, ds.Platform)
+	for i := range ds.Aliases {
+		a := ds.Aliases[i]
+		a.Messages = append([]forum.Message(nil), a.Messages...)
+		out.Aliases = append(out.Aliases, a)
+	}
+	return out
+}
+
+// assertIndexesEquivalent requires the two indexes to be observably
+// identical: same metadata, same corpus, same subjects, and bit-identical
+// matcher output through every query path.
+func assertIndexesEquivalent(t *testing.T, got, want *Index, probes []attribution.Subject) {
+	t.Helper()
+	if got.Version != want.Version || got.LastSeq != want.LastSeq || got.Digest != want.Digest {
+		t.Fatalf("metadata diverges: got (v%d seq%d %s), want (v%d seq%d %s)",
+			got.Version, got.LastSeq, got.Digest, want.Version, want.LastSeq, want.Digest)
+	}
+	if !reflect.DeepEqual(got.Dataset, want.Dataset) {
+		t.Fatal("dataset diverges")
+	}
+	if !reflect.DeepEqual(got.Subjects, want.Subjects) {
+		t.Fatal("subjects diverge")
+	}
+	w := attribution.Weights{Freq: 0.2, Activity: 0.7}
+	for pi := range probes {
+		p := &probes[pi]
+		for _, mode := range []prefilter.Mode{prefilter.ModeExact, prefilter.ModePruned, prefilter.ModeLSH} {
+			o := attribution.MatchOptions{K: 5, Weights: &w, Mode: mode}
+			gr, _ := got.Matcher.RankDetailed(p, o)
+			wr, _ := want.Matcher.RankDetailed(p, o)
+			if !reflect.DeepEqual(gr, wr) {
+				t.Fatalf("probe %d mode %v: rank diverges\ngot  %v\nwant %v", pi, mode, gr, wr)
+			}
+		}
+		cands := want.Matcher.Rank(p, 5)
+		if gre, wre := got.Matcher.Rescore(p, cands), want.Matcher.Rescore(p, cands); !reflect.DeepEqual(gre, wre) {
+			t.Fatalf("probe %d: rescore diverges\ngot  %v\nwant %v", pi, gre, wre)
+		}
+	}
+	gall, gerr := got.Matcher.MatchAll(context.Background(), probes)
+	wall, werr := want.Matcher.MatchAll(context.Background(), probes)
+	if gerr != nil || werr != nil {
+		t.Fatalf("MatchAll errors: %v / %v", gerr, werr)
+	}
+	if !reflect.DeepEqual(gall, wall) {
+		t.Fatal("MatchAll output diverges")
+	}
+}
+
+// TestSaveLoadRoundTrip: the snapshot must reassemble an index whose
+// output is bit-identical to the in-RAM build, including LSH operating
+// points already built, and the loaded index must itself be save-able.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8100))
+	ds := testDataset(rng, "base", 30)
+	probeDS := testDataset(rng, "probe", 6)
+	opts, subjOpts := testBuildOptions()
+	ctx := context.Background()
+
+	idx, err := BuildIndex(ctx, ds, opts, subjOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes, err := attribution.BuildSubjects(probeDS, subjOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch the LSH path so the snapshot has an operating point to carry.
+	idx.Matcher.RankDetailed(&probes[0], attribution.MatchOptions{K: 3, Mode: prefilter.ModeLSH})
+
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HasSnapshot() {
+		t.Fatal("fresh store claims a snapshot")
+	}
+	if err := st.Save(idx); err != nil {
+		t.Fatal(err)
+	}
+	if !st.HasSnapshot() {
+		t.Fatal("snapshot not visible after Save")
+	}
+	loaded, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIndexesEquivalent(t, loaded, idx, probes)
+
+	// The loaded index must be a full citizen: snapshot-able again and
+	// fold-able (the matcher came back incremental).
+	if err := st.Save(loaded); err != nil {
+		t.Fatalf("re-save of loaded index: %v", err)
+	}
+	if _, err := loaded.Matcher.Fold(ctx, loaded.Subjects[:1]); err != nil {
+		t.Fatalf("fold on loaded index: %v", err)
+	}
+}
+
+// TestApplyThreads pins the delta semantics: grouping by author, new
+// aliases for new authors, canonical order, and no mutation of the input.
+func TestApplyThreads(t *testing.T) {
+	ds := forum.NewDataset("d", forum.PlatformTheMajesticGarden)
+	t0 := time.Date(2017, 5, 1, 12, 0, 0, 0, time.UTC)
+	ds.Add(forum.Alias{Name: "ann", Messages: []forum.Message{{ID: "a0", Author: "ann", Body: "old post", PostedAt: t0}}})
+	ds.Add(forum.Alias{Name: "zed", Messages: []forum.Message{{ID: "z0", Author: "zed", Body: "other", PostedAt: t0}}})
+	before := cloneDataset(ds)
+
+	recs := []forum.ThreadRecord{{
+		Thread: "t9",
+		Messages: []forum.Message{
+			{ID: "m1", Author: "zed", Body: "reply one", PostedAt: t0.Add(time.Hour)},
+			{ID: "m2", Author: "newguy", Body: "first post", PostedAt: t0.Add(2 * time.Hour)},
+			{ID: "m3", Author: "zed", Body: "reply two", PostedAt: t0.Add(3 * time.Hour)},
+		},
+	}}
+	out, changed := ApplyThreads(ds, recs)
+
+	if !reflect.DeepEqual(changed, []string{"newguy", "zed"}) {
+		t.Errorf("changed = %v, want [newguy zed]", changed)
+	}
+	if got := out.Names(); !reflect.DeepEqual(got, []string{"ann", "newguy", "zed"}) {
+		t.Errorf("names = %v, want [ann newguy zed]", got)
+	}
+	z, err := out.Find("zed")
+	if err != nil || len(z.Messages) != 3 || z.Messages[1].ID != "m1" || z.Messages[2].ID != "m3" {
+		t.Errorf("zed messages wrong: %+v (err %v)", z, err)
+	}
+	ng, err := out.Find("newguy")
+	if err != nil || len(ng.Messages) != 1 || ng.Platform != ds.Platform {
+		t.Errorf("newguy wrong: %+v (err %v)", ng, err)
+	}
+	if !reflect.DeepEqual(ds, before) {
+		t.Error("ApplyThreads mutated its input dataset")
+	}
+}
+
+// TestReplayMatchesRebuild is the crash-recovery equivalence property:
+// append threads to the journal, replay them onto the loaded snapshot,
+// and the resulting index must be bit-identical to building from scratch
+// over the merged corpus. Run with -race, trials in parallel.
+func TestReplayMatchesRebuild(t *testing.T) {
+	trials := 4
+	if testing.Short() {
+		trials = 2
+	}
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("world%d", trial), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(8200 + trial)))
+			ds := testDataset(rng, "corpus", 15+rng.Intn(15))
+			probeDS := testDataset(rng, "probe", 5)
+			opts, subjOpts := testBuildOptions()
+			opts.Workers = 1 + rng.Intn(3)
+			ctx := context.Background()
+
+			idx, err := BuildIndex(ctx, ds, opts, subjOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			probes, err := attribution.BuildSubjects(probeDS, subjOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			st, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Save(idx); err != nil {
+				t.Fatal(err)
+			}
+			nThreads := 1 + rng.Intn(4)
+			for i := 0; i < nThreads; i++ {
+				seq, err := st.AppendThread(testThread(rng, ds, i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := uint64(i + 1); seq != want {
+					t.Fatalf("AppendThread seq = %d, want %d", seq, want)
+				}
+			}
+
+			// Cold start: load the snapshot, replay the journal.
+			cold, err := st.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			entries, err := st.ReadJournal(cold.LastSeq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(entries) != nThreads {
+				t.Fatalf("journal has %d entries, want %d", len(entries), nThreads)
+			}
+			next, err := Replay(ctx, cold, entries, subjOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if next.Version != cold.Version+1 || next.LastSeq != entries[len(entries)-1].Seq {
+				t.Fatalf("replayed index at (v%d seq%d)", next.Version, next.LastSeq)
+			}
+
+			// Reference: a from-scratch build over the merged corpus.
+			rebuilt, err := BuildIndex(ctx, cloneDataset(next.Dataset), opts, subjOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rebuilt.Version, rebuilt.LastSeq = next.Version, next.LastSeq
+			assertIndexesEquivalent(t, next, rebuilt, probes)
+
+			// Replay is idempotent: entries at or below LastSeq are skipped.
+			again, err := Replay(ctx, next, entries, subjOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != next {
+				t.Error("replay of already-folded entries built a new index")
+			}
+
+			// Save the new generation, compact, and the journal is empty;
+			// a fresh load round-trips the folded index.
+			if err := st.Save(next); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.CompactJournal(next.LastSeq); err != nil {
+				t.Fatal(err)
+			}
+			left, err := st.ReadJournal(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(left) != 0 {
+				t.Fatalf("journal holds %d entries after compaction", len(left))
+			}
+			reloaded, err := st.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertIndexesEquivalent(t, reloaded, next, probes)
+		})
+	}
+}
+
+// TestJournalTornTailDropsOnlyTear: a crash mid-append leaves a partial
+// final line; reads drop exactly that line, and Open repairs the file so
+// the next append continues the sequence.
+func TestJournalTornTailDropsOnlyTear(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8300))
+	ds := testDataset(rng, "d", 3)
+	for i := 0; i < 3; i++ {
+		if _, err := st.AppendThread(testThread(rng, ds, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a kill mid-append: a truncated JSON line with no newline.
+	f, err := os.OpenFile(st.JournalPath(), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":4,"thread":{"thread":"torn","mess`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := st.ReadJournal(0)
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated, got %v", err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("read %d entries past a torn tail, want 3", len(entries))
+	}
+
+	// Reopen: the tear is repaired and sequence numbering continues.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := st2.AppendThread(testThread(rng, ds, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 4 {
+		t.Errorf("post-repair seq = %d, want 4", seq)
+	}
+	entries, err = st2.ReadJournal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("post-repair journal = %d entries, want 4", len(entries))
+	}
+	if entries[3].Seq != 4 {
+		t.Errorf("post-repair last seq = %d, want 4", entries[3].Seq)
+	}
+}
+
+// TestJournalMidFileCorruptionFails: an undecodable line that is not the
+// tail is real corruption and must fail loudly with the journal named.
+func TestJournalMidFileCorruptionFails(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := `{"seq":%d,"thread":{"thread":"t%d","messages":null}}` + "\n"
+	raw := fmt.Sprintf(good, 1, 1) + "@@garbage@@\n" + fmt.Sprintf(good, 2, 2)
+	if err := os.WriteFile(st.JournalPath(), []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = st.ReadJournal(0)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("mid-file corruption returned %v, want *CorruptError", err)
+	}
+	if ce.Section != "journal" || ce.Path != st.JournalPath() {
+		t.Errorf("CorruptError = %+v, want section journal with the journal path", ce)
+	}
+	// Open must refuse the directory too, not silently resurrect it.
+	if _, err := Open(dir); !errors.As(err, &ce) {
+		t.Errorf("Open on corrupt journal returned %v, want *CorruptError", err)
+	}
+}
+
+// TestJournalSequenceRegressionFails: sequence numbers must strictly
+// increase; a replayed or spliced journal is corruption, not data.
+func TestJournalSequenceRegressionFails(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := `{"seq":2,"thread":{"thread":"a","messages":null}}` + "\n" +
+		`{"seq":1,"thread":{"thread":"b","messages":null}}` + "\n"
+	if err := os.WriteFile(st.JournalPath(), []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = st.ReadJournal(0)
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Section != "journal" {
+		t.Fatalf("sequence regression returned %v, want journal CorruptError", err)
+	}
+}
