@@ -1,25 +1,37 @@
 // Command darklint runs the project's own static analyzers — the
-// machine-checked half of the determinism contract the equivalence
-// tests pin at runtime. It is a CI gate: any unsuppressed diagnostic
-// fails the build.
+// machine-checked half of the determinism and durability contracts the
+// equivalence tests pin at runtime. It is a CI gate: any unsuppressed
+// diagnostic fails the build.
 //
 // Usage:
 //
 //	go run ./cmd/darklint ./...
 //	go run ./cmd/darklint -only=wallclock,errdrop ./internal/...
 //	go run ./cmd/darklint -wallclock.allow=internal/scraper,cmd ./...
+//	go run ./cmd/darklint -json ./... > darklint.json
 //
-// Analyzers: detrand (no global/time-seeded randomness in deterministic
-// packages), utcenforce (UTC-pinned time construction where the
-// activity profiles need it), maporder (no map-iteration order leaking
-// into output), errdrop (no silently discarded errors), wallclock
+// Analyzers: atomicmix (no plain access to variables touched by
+// sync/atomic), detrand (no global/time-seeded randomness in
+// deterministic packages), errdrop (no silently discarded errors),
+// fsyncrename (fsync before rename on every path), goleak (goroutines
+// in long-lived packages must have a reachable stop signal), lockbalance
+// (every Lock released on every path, no double-lock), maporder (no
+// map-iteration order leaking into output), utcenforce (UTC-pinned time
+// construction where the activity profiles need it), wallclock
 // (time.Now only on the allowlist). Suppress one finding with
 // `//lint:ignore <analyzer> <reason>` on or above the offending line.
+//
+// With -json the findings are emitted as a JSON array of
+// {file,line,col,analyzer,message,suppressed} objects — suppressed
+// findings are included (flagged true) so tooling can audit waivers,
+// but only unsuppressed findings fail the run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -27,41 +39,71 @@ import (
 
 	"darklight/internal/analysis"
 	"darklight/internal/analysis/load"
+	"darklight/internal/analysis/passes/atomicmix"
 	"darklight/internal/analysis/passes/detrand"
 	"darklight/internal/analysis/passes/errdrop"
+	"darklight/internal/analysis/passes/fsyncrename"
+	"darklight/internal/analysis/passes/goleak"
+	"darklight/internal/analysis/passes/lockbalance"
 	"darklight/internal/analysis/passes/maporder"
 	"darklight/internal/analysis/passes/utcenforce"
 	"darklight/internal/analysis/passes/wallclock"
 )
 
 var analyzers = []*analysis.Analyzer{
+	atomicmix.Analyzer,
 	detrand.Analyzer,
 	errdrop.Analyzer,
+	fsyncrename.Analyzer,
+	goleak.Analyzer,
+	lockbalance.Analyzer,
 	maporder.Analyzer,
 	utcenforce.Analyzer,
 	wallclock.Analyzer,
 }
 
+// finding is one diagnostic; the JSON shape is the -json contract.
+type finding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func main() {
+	os.Exit(runLint(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// runLint is main, factored for the golden test: it parses args, runs
+// the selected analyzers, writes findings to stdout, and returns the
+// process exit code (0 clean, 1 findings, 2 usage/load error).
+func runLint(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("darklint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		only    = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-		list    = flag.Bool("list", false, "list analyzers and exit")
-		dir     = flag.String("C", "", "module root to analyze (default: current directory)")
-		verbose = flag.Bool("v", false, "report per-package progress and suppressed-finding counts")
+		only    = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list    = fs.Bool("list", false, "list analyzers and exit")
+		dir     = fs.String("C", "", "module root to analyze (default: current directory)")
+		verbose = fs.Bool("v", false, "report per-package progress and suppressed-finding counts")
+		jsonOut = fs.Bool("json", false, "emit findings as JSON (includes suppressed findings)")
 	)
 	for _, a := range analyzers {
 		a := a
 		a.Flags.VisitAll(func(f *flag.Flag) {
-			flag.Var(f.Value, a.Name+"."+f.Name, f.Usage)
+			fs.Var(f.Value, a.Name+"."+f.Name, f.Usage)
 		})
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			printf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	selected := analyzers
@@ -74,35 +116,27 @@ func main() {
 		for _, name := range strings.Split(*only, ",") {
 			a, ok := byName[strings.TrimSpace(name)]
 			if !ok {
-				fmt.Fprintf(os.Stderr, "darklint: unknown analyzer %q\n", name)
-				os.Exit(2)
+				printf(stderr, "darklint: unknown analyzer %q\n", name)
+				return 2
 			}
 			selected = append(selected, a)
 		}
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	pkgs, err := load.Load(load.Config{Dir: *dir}, patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "darklint: %v\n", err)
-		os.Exit(2)
+		printf(stderr, "darklint: %v\n", err)
+		return 2
 	}
 
-	type finding struct {
-		file string
-		line int
-		col  int
-		msg  string
-		name string
-	}
 	var findings []finding
-	suppressed := 0
 	for _, pkg := range pkgs {
 		if *verbose {
-			fmt.Fprintf(os.Stderr, "darklint: %s\n", pkg.Path)
+			printf(stderr, "darklint: %s\n", pkg.Path)
 		}
 		sup := analysis.NewSuppressor(pkg.Fset, pkg.Files)
 		for _, a := range selected {
@@ -114,44 +148,84 @@ func main() {
 				TypesInfo: pkg.Info,
 			}
 			pass.Report = func(d analysis.Diagnostic) {
-				if sup.Suppressed(a.Name, d.Pos) {
-					suppressed++
-					return
-				}
 				p := pkg.Fset.Position(d.Pos)
 				file := p.Filename
 				if rel, err := filepath.Rel(mustGetwd(), file); err == nil && !strings.HasPrefix(rel, "..") {
 					file = rel
 				}
-				findings = append(findings, finding{file: file, line: p.Line, col: p.Column, msg: d.Message, name: a.Name})
+				findings = append(findings, finding{
+					File:       filepath.ToSlash(file),
+					Line:       p.Line,
+					Col:        p.Column,
+					Analyzer:   a.Name,
+					Message:    d.Message,
+					Suppressed: sup.Suppressed(a.Name, d.Pos),
+				})
 			}
 			if _, err := a.Run(pass); err != nil {
-				fmt.Fprintf(os.Stderr, "darklint: %s on %s: %v\n", a.Name, pkg.Path, err)
-				os.Exit(2)
+				printf(stderr, "darklint: %s on %s: %v\n", a.Name, pkg.Path, err)
+				return 2
 			}
 		}
 	}
 
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
-		if a.file != b.file {
-			return a.file < b.file
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		if a.line != b.line {
-			return a.line < b.line
+		if a.Line != b.Line {
+			return a.Line < b.Line
 		}
-		return a.col < b.col
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
 	})
+
+	active, suppressed := 0, 0
 	for _, f := range findings {
-		fmt.Printf("%s:%d:%d: %s (%s)\n", f.file, f.line, f.col, f.msg, f.name)
+		if f.Suppressed {
+			suppressed++
+		} else {
+			active++
+		}
+	}
+
+	if *jsonOut {
+		if findings == nil {
+			findings = []finding{} // `[]`, not `null`: the contract is an array
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			printf(stderr, "darklint: encoding findings: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			if f.Suppressed {
+				continue
+			}
+			printf(stdout, "%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
 	}
 	if *verbose && suppressed > 0 {
-		fmt.Fprintf(os.Stderr, "darklint: %d finding(s) suppressed by lint:ignore\n", suppressed)
+		printf(stderr, "darklint: %d finding(s) suppressed by lint:ignore\n", suppressed)
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "darklint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
-		os.Exit(1)
+	if active > 0 {
+		printf(stderr, "darklint: %d finding(s) in %d package(s)\n", active, len(pkgs))
+		return 1
 	}
+	return 0
+}
+
+// printf writes best-effort diagnostic output. runLint's stdout and
+// stderr are os.Stdout/os.Stderr in production and buffers in the
+// golden test; neither failure mode is actionable from here.
+func printf(w io.Writer, format string, args ...any) {
+	//lint:ignore errdrop best-effort diagnostic output to a std stream or test buffer
+	fmt.Fprintf(w, format, args...)
 }
 
 func mustGetwd() string {

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestJSONGolden pins the -json contract byte-for-byte against a
+// fixture module: field names, ordering, the suppressed flag on waived
+// findings, and the exit code that counts only unsuppressed ones.
+func TestJSONGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := runLint([]string{"-C", "testdata/module", "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (one unsuppressed finding)\nstderr: %s", code, stderr.String())
+	}
+
+	golden, err := os.ReadFile("testdata/json.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := stdout.String(), string(golden); got != want {
+		t.Errorf("-json output mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The output must stay parseable with the documented field names.
+	var findings []map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2", len(findings))
+	}
+	for _, f := range findings {
+		for _, k := range []string{"file", "line", "col", "analyzer", "message", "suppressed"} {
+			if _, ok := f[k]; !ok {
+				t.Errorf("finding %v missing key %q", f, k)
+			}
+		}
+	}
+	if findings[0]["suppressed"] != false || findings[1]["suppressed"] != true {
+		t.Errorf("suppressed flags = %v, %v; want false, true",
+			findings[0]["suppressed"], findings[1]["suppressed"])
+	}
+}
+
+// TestJSONCleanTree is the zero-findings contract: an empty JSON array
+// (not null) and exit 0 when only clean analyzers are selected.
+func TestJSONCleanTree(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := runLint([]string{"-C", "testdata/module", "-json", "-only=wallclock", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr: %s\nstdout: %s", code, stderr.String(), stdout.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("clean-tree -json output = %q, want []", got)
+	}
+}
+
+// TestTextOutput keeps the human-readable mode stable: suppressed
+// findings are omitted, the rest render as file:line:col.
+func TestTextOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := runLint([]string{"-C", "testdata/module", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	want := "testdata/module/internal/serve/serve.go:19:3: r.mu.Lock() is not released on every path " +
+		"to this return; unlock on all exits or defer the unlock (lockbalance)\n"
+	if got := stdout.String(); got != want {
+		t.Errorf("text output = %q, want %q", got, want)
+	}
+}
+
+// TestUnknownAnalyzer pins the usage-error exit code.
+func TestUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := runLint([]string{"-only=nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr = %q, want mention of unknown analyzer", stderr.String())
+	}
+}

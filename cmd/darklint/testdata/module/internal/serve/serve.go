@@ -1,0 +1,29 @@
+// Package serve is the darklint -json golden fixture: one unsuppressed
+// lockbalance finding and one suppressed one, with every other pass
+// quiet on purpose. The directory is named internal/serve so the
+// scoped passes (goleak, lockbalance's "all") apply exactly as they do
+// to the real serving package.
+package serve
+
+import "sync"
+
+type registry struct {
+	mu    sync.Mutex
+	items map[string]int
+}
+
+func (r *registry) get(k string) (int, bool) {
+	r.mu.Lock()
+	v, ok := r.items[k]
+	if !ok {
+		return 0, false
+	}
+	r.mu.Unlock()
+	return v, true
+}
+
+func (r *registry) reset() {
+	r.mu.Lock()
+	r.items = map[string]int{}
+	//lint:ignore lockbalance fixture: reset hands the lock to the caller
+}

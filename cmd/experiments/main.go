@@ -78,12 +78,13 @@ func run() error {
 		ctx = obs.WithTracer(ctx, tracer)
 	}
 	if *obsAddr != "" {
-		addr, err := obs.Serve(*obsAddr, obs.Default(), func(format string, args ...any) {
+		addr, stop, err := obs.Serve(*obsAddr, obs.Default(), func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
 		})
 		if err != nil {
 			return err
 		}
+		defer stop()
 		fmt.Fprintf(os.Stderr, "experiments: observability on http://%s/metrics\n", addr)
 	}
 

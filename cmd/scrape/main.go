@@ -51,11 +51,12 @@ func main() {
 		ctx = obs.WithTracer(ctx, tracer)
 	}
 	if *obsAddr != "" {
-		addr, err := obs.Serve(*obsAddr, obs.Default(), log.Printf)
+		addr, stop, err := obs.Serve(*obsAddr, obs.Default(), log.Printf)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scrape:", err)
 			os.Exit(1)
 		}
+		defer stop()
 		log.Printf("scrape: observability on http://%s/metrics", addr)
 	}
 

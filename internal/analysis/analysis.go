@@ -90,6 +90,26 @@ func (p *Pass) Preorder(nodeTypes []ast.Node, fn func(ast.Node)) {
 	}
 }
 
+// EachFuncBody visits every function body in the package: declared
+// functions and every function literal. A literal's body is delivered
+// in its own visit, so CFG-based passes analyze it as a separate
+// function rather than inlining it into its enclosing declaration.
+func (p *Pass) EachFuncBody(fn func(body *ast.BlockStmt)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fn(n.Body)
+				}
+			case *ast.FuncLit:
+				fn(n.Body)
+			}
+			return true
+		})
+	}
+}
+
 // WithStack visits every node of every file in preorder, passing the
 // stack of ancestor nodes (outermost first, ending at the node itself).
 // Returning false from fn prunes the subtree below the node.

@@ -92,6 +92,23 @@ func MethodCall(info *types.Info, call *ast.CallExpr) (recv types.Type, name str
 	return s.Recv(), sel.Sel.Name
 }
 
+// MethodFunc returns the *types.Func a method call invokes (through a
+// value or interface receiver), or nil for anything else. The origin
+// func carries its defining package, so passes can ask "is this method
+// sync.(*Mutex).Lock" without caring what struct embeds the mutex.
+func MethodFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil
+	}
+	fn, _ := s.Obj().(*types.Func)
+	return fn
+}
+
 // IsNamed reports whether t (or the pointee, for pointers) is the named
 // type pkgPath.name.
 func IsNamed(t types.Type, pkgPath, name string) bool {

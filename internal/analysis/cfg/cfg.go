@@ -1,0 +1,445 @@
+// Package cfg builds per-function control-flow graphs over go/ast and
+// runs forward dataflow analyses over them to a fixpoint. It is the
+// path-sensitivity layer under darklint's concurrency and durability
+// passes (lockbalance, goleak, fsyncrename): where the original
+// AST-shape passes could only ask "does this call appear somewhere",
+// the CFG passes ask "does it appear on every path between two events",
+// which is the actual invariant — every Lock released on every exit,
+// every written temp file Synced on every path into its Rename.
+//
+// The graph is deliberately statement-granular and intraprocedural:
+// each Block holds the statements (and controlling expressions) that
+// execute unconditionally together, Succs carry the branch structure,
+// and a single virtual Exit block collects every return, panic, and the
+// implicit fall-off-the-end. Function literals are not inlined — each
+// FuncLit body is its own graph, built by whichever pass walks it —
+// and calls are opaque, which is the main soundness trade-off DESIGN
+// §12 spells out.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: a maximal run of nodes with a single entry
+// at the top and branching only at the bottom.
+type Block struct {
+	Index int
+	// Nodes are the statements and controlling expressions of the block
+	// in execution order. Compound statements never appear whole: an if
+	// contributes its Init and Cond here and its branches elsewhere, a
+	// range loop contributes only its X expression to the loop head.
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Blocks []*Block
+	Entry  *Block
+	// Exit is virtual: it holds no nodes, and every return statement,
+	// panic call, and the implicit end of the body has an edge to it.
+	Exit *Block
+}
+
+// Build constructs the graph of one function body (a FuncDecl.Body or
+// FuncLit.Body). It never descends into nested function literals.
+func Build(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: make(map[string]*Block)}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	b.jump(g.Exit)
+	b.resolveGotos()
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return g
+}
+
+// Reachable returns the set of blocks reachable from Entry.
+func (g *Graph) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{g.Entry: true}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+// IsPanicCall reports whether the node is a statement-level call to the
+// panic builtin (matched by name; shadowing panic defeats it).
+func IsPanicCall(n ast.Node) bool {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// Terminator classifies how a block transfers control to Exit.
+type Terminator int
+
+const (
+	// NotExit: the block has no edge to Exit.
+	NotExit Terminator = iota
+	// Return: the block ends in an explicit return statement.
+	Return
+	// Panic: the block ends in a statement-level panic(...) call.
+	Panic
+	// FallOff: the block reaches the implicit end of the function body.
+	FallOff
+)
+
+// ExitKind reports whether (and how) the block exits the function.
+func (b *Block) ExitKind(exit *Block) Terminator {
+	toExit := false
+	for _, s := range b.Succs {
+		if s == exit {
+			toExit = true
+			break
+		}
+	}
+	if !toExit {
+		return NotExit
+	}
+	if n := len(b.Nodes); n > 0 {
+		if _, ok := b.Nodes[n-1].(*ast.ReturnStmt); ok {
+			return Return
+		}
+		if IsPanicCall(b.Nodes[n-1]) {
+			return Panic
+		}
+	}
+	return FallOff
+}
+
+// target is one enclosing breakable/continuable construct.
+type target struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch and select
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	g   *Graph
+	cur *Block // nil when the current path has terminated
+
+	targets      []target
+	labels       map[string]*Block
+	gotos        []pendingGoto
+	pendingLabel string
+	fallTo       []*Block // fallthrough destinations, one per enclosing switch
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// ensure returns the current block, starting a fresh (unreachable) one
+// when the path has terminated — dead code is still analyzed.
+func (b *builder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *builder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	blk := b.ensure()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+// jump links the live current block to the destination and terminates
+// the current path.
+func (b *builder) jump(to *Block) {
+	if b.cur != nil {
+		link(b.cur, to)
+		b.cur = nil
+	}
+}
+
+func link(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// takeLabel consumes the label of an enclosing LabeledStmt, if the very
+// next statement is the loop/switch/select it names.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		b.add(s.Init)
+		b.add(s.Cond)
+		cond := b.ensure()
+		after := b.newBlock()
+		thenB := b.newBlock()
+		link(cond, thenB)
+		var elseB *Block
+		if s.Else != nil {
+			elseB = b.newBlock()
+			link(cond, elseB)
+		} else {
+			link(cond, after)
+		}
+		b.cur = thenB
+		b.stmt(s.Body)
+		b.jump(after)
+		if s.Else != nil {
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.jump(after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		b.add(s.Init)
+		head := b.newBlock()
+		b.jump(head)
+		b.cur = head
+		b.add(s.Cond)
+		body := b.newBlock()
+		after := b.newBlock()
+		link(head, body)
+		if s.Cond != nil {
+			link(head, after)
+		}
+		continueTo := head
+		if s.Post != nil {
+			post := b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			link(post, head)
+			continueTo = post
+		}
+		b.targets = append(b.targets, target{label: label, breakTo: after, continueTo: continueTo})
+		b.cur = body
+		b.stmt(s.Body)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.jump(continueTo)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.jump(head)
+		b.cur = head
+		b.add(s.X)
+		body := b.newBlock()
+		after := b.newBlock()
+		link(head, body)
+		link(head, after)
+		b.targets = append(b.targets, target{label: label, breakTo: after, continueTo: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.jump(head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body, true)
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body, false)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.ensure()
+		after := b.newBlock()
+		b.targets = append(b.targets, target{label: label, breakTo: after})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			cb := b.newBlock()
+			link(head, cb)
+			if cc.Comm != nil {
+				cb.Nodes = append(cb.Nodes, cc.Comm)
+			}
+			b.cur = cb
+			b.stmtList(cc.Body)
+			b.jump(after)
+		}
+		b.targets = b.targets[:len(b.targets)-1]
+		// A select{} with no cases blocks forever: head keeps no
+		// successors, and after becomes an unreachable dead-code block.
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		lb := b.newBlock()
+		b.jump(lb)
+		b.cur = lb
+		b.labels[s.Label.Name] = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findTarget(s.Label, false); t != nil {
+				b.jump(t.breakTo)
+			} else {
+				b.jump(b.g.Exit) // malformed input; keep the graph closed
+			}
+		case token.CONTINUE:
+			if t := b.findTarget(s.Label, true); t != nil {
+				b.jump(t.continueTo)
+			} else {
+				b.jump(b.g.Exit)
+			}
+		case token.GOTO:
+			if s.Label != nil {
+				if lb, ok := b.labels[s.Label.Name]; ok {
+					b.jump(lb)
+				} else if b.cur != nil {
+					b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+					b.cur = nil
+				}
+			}
+		case token.FALLTHROUGH:
+			if n := len(b.fallTo); n > 0 && b.fallTo[n-1] != nil {
+				b.jump(b.fallTo[n-1])
+			} else {
+				b.cur = nil
+			}
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if IsPanicCall(s) {
+			b.jump(b.g.Exit)
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// DeclStmt, AssignStmt, IncDecStmt, SendStmt, DeferStmt, GoStmt:
+		// straight-line nodes.
+		b.add(s)
+	}
+}
+
+// switchStmt builds expression and type switches. head evaluates Init,
+// Tag (or the type-switch Assign); every case clause branches from it,
+// and a missing default adds the skip edge straight to after.
+func (b *builder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, allowFall bool) {
+	label := b.takeLabel()
+	b.add(init)
+	if tag != nil {
+		b.add(tag)
+	}
+	b.add(assign)
+	head := b.ensure()
+	after := b.newBlock()
+	b.targets = append(b.targets, target{label: label, breakTo: after})
+
+	var caseBlocks []*Block
+	var bodies [][]ast.Stmt
+	hasDefault := false
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		cb := b.newBlock()
+		for _, e := range cc.List {
+			cb.Nodes = append(cb.Nodes, e)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		link(head, cb)
+		caseBlocks = append(caseBlocks, cb)
+		bodies = append(bodies, cc.Body)
+	}
+	if !hasDefault {
+		link(head, after)
+	}
+	for i := range caseBlocks {
+		fall := (*Block)(nil)
+		if allowFall && i+1 < len(caseBlocks) {
+			fall = caseBlocks[i+1]
+		}
+		b.fallTo = append(b.fallTo, fall)
+		b.cur = caseBlocks[i]
+		b.stmtList(bodies[i])
+		b.jump(after)
+		b.fallTo = b.fallTo[:len(b.fallTo)-1]
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+// findTarget resolves a break/continue, innermost-first. An unlabeled
+// continue wants the nearest loop; break takes any enclosing construct.
+func (b *builder) findTarget(label *ast.Ident, isContinue bool) *target {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := &b.targets[i]
+		if isContinue && t.continueTo == nil {
+			continue
+		}
+		if label == nil || t.label == label.Name {
+			return t
+		}
+	}
+	return nil
+}
+
+func (b *builder) resolveGotos() {
+	for _, pg := range b.gotos {
+		if lb, ok := b.labels[pg.label]; ok {
+			link(pg.from, lb)
+		} else {
+			link(pg.from, b.g.Exit)
+		}
+	}
+}

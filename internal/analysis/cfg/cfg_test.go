@@ -1,0 +1,281 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses one function body and builds its graph.
+func buildFunc(t *testing.T, body string) (*Graph, *token.FileSet) {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	fn := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	return Build(fn.Body), fset
+}
+
+// TestBuildShapes pins the exact graph the builder produces for the
+// control-flow shapes the passes depend on: labeled break/continue,
+// select with and without default, defer inside loops, panic-only
+// exits, switch fallthrough, goto, and dead code.
+func TestBuildShapes(t *testing.T) {
+	tests := []struct {
+		name string
+		body string
+		want string
+	}{
+		{
+			name: "straight line",
+			body: "x := 1\n_ = x\nreturn",
+			want: "b0: (entry) [x := 1] [_ = x] [return] -> b1\n" +
+				"b1: (exit)\n",
+		},
+		{
+			name: "if without else",
+			body: "if x := 1; x > 0 {\n_ = x\n}\n_ = 2",
+			want: "b0: (entry) [x := 1] [x > 0] -> b3 b2\n" +
+				"b1: (exit)\n" +
+				"b2: [_ = 2] -> b1\n" +
+				"b3: [_ = x] -> b2\n",
+		},
+		{
+			name: "if else with returns on both paths",
+			body: "if true {\nreturn\n} else {\nreturn\n}",
+			want: "b0: (entry) [true] -> b3 b4\n" +
+				"b1: (exit)\n" +
+				"b2: -> b1\n" +
+				"b3: [return] -> b1\n" +
+				"b4: [return] -> b1\n",
+		},
+		{
+			name: "for with cond and post",
+			body: "for i := 0; i < 3; i++ {\n_ = i\n}",
+			want: "b0: (entry) [i := 0] -> b2\n" +
+				"b1: (exit)\n" +
+				"b2: [i < 3] -> b3 b4\n" +
+				"b3: [_ = i] -> b5\n" +
+				"b4: -> b1\n" +
+				"b5: [i++] -> b2\n",
+		},
+		{
+			name: "infinite for has no exit edge from the loop",
+			body: "for {\n_ = 1\n}",
+			want: "b0: (entry) -> b2\n" +
+				"b1: (exit)\n" +
+				"b2: -> b3\n" +
+				"b3: [_ = 1] -> b2\n" +
+				"b4: -> b1\n",
+		},
+		{
+			name: "labeled break and continue",
+			body: "outer:\nfor {\nfor {\nif true {\nbreak outer\n}\nif false {\ncontinue outer\n}\nbreak\n}\n}\n_ = 1",
+			want: "b0: (entry) -> b2\n" +
+				"b1: (exit)\n" +
+				"b2: -> b3\n" +
+				"b3: -> b4\n" +
+				"b4: -> b6\n" +
+				"b5: [_ = 1] -> b1\n" +
+				"b6: -> b7\n" +
+				"b7: [true] -> b10 b9\n" +
+				"b8: -> b3\n" +
+				"b9: [false] -> b12 b11\n" +
+				"b10: [break outer] -> b5\n" +
+				"b11: [break] -> b8\n" +
+				"b12: [continue outer] -> b3\n",
+		},
+		{
+			name: "range over channel",
+			body: "ch := make(chan int)\nfor v := range ch {\n_ = v\n}",
+			want: "b0: (entry) [ch := make(chan int)] -> b2\n" +
+				"b1: (exit)\n" +
+				"b2: [ch] -> b3 b4\n" +
+				"b3: [_ = v] -> b2\n" +
+				"b4: -> b1\n",
+		},
+		{
+			name: "select with no default blocks on its cases",
+			body: "var a, b chan int\nselect {\ncase <-a:\n_ = 1\ncase v := <-b:\n_ = v\n}",
+			want: "b0: (entry) [var a, b chan int] -> b3 b4\n" +
+				"b1: (exit)\n" +
+				"b2: -> b1\n" +
+				"b3: [<-a] [_ = 1] -> b2\n" +
+				"b4: [v := <-b] [_ = v] -> b2\n",
+		},
+		{
+			name: "select with default can skip",
+			body: "var a chan int\nselect {\ncase <-a:\ndefault:\n_ = 2\n}",
+			want: "b0: (entry) [var a chan int] -> b3 b4\n" +
+				"b1: (exit)\n" +
+				"b2: -> b1\n" +
+				"b3: [<-a] -> b2\n" +
+				"b4: [_ = 2] -> b2\n",
+		},
+		{
+			name: "empty select blocks forever and strands the tail",
+			body: "select {}\n_ = 1",
+			want: "b0: (entry)\n" +
+				"b1: (exit)\n" +
+				"b2: [_ = 1] -> b1\n",
+		},
+		{
+			name: "defer inside loop stays a loop-body node",
+			body: "for i := 0; i < 3; i++ {\ndefer f()\n}",
+			want: "b0: (entry) [i := 0] -> b2\n" +
+				"b1: (exit)\n" +
+				"b2: [i < 3] -> b3 b4\n" +
+				"b3: [defer f()] -> b5\n" +
+				"b4: -> b1\n" +
+				"b5: [i++] -> b2\n",
+		},
+		{
+			name: "panic-only exit",
+			body: "panic(\"boom\")",
+			want: "b0: (entry) [panic(\"boom\")] -> b1\n" +
+				"b1: (exit)\n",
+		},
+		{
+			name: "panic in branch, return after",
+			body: "if true {\npanic(\"boom\")\n}\nreturn",
+			want: "b0: (entry) [true] -> b3 b2\n" +
+				"b1: (exit)\n" +
+				"b2: [return] -> b1\n" +
+				"b3: [panic(\"boom\")] -> b1\n",
+		},
+		{
+			name: "switch without default gets a skip edge",
+			body: "switch x := 1; x {\ncase 1:\n_ = 1\ncase 2:\n_ = 2\n}",
+			want: "b0: (entry) [x := 1] [x] -> b3 b4 b2\n" +
+				"b1: (exit)\n" +
+				"b2: -> b1\n" +
+				"b3: [1] [_ = 1] -> b2\n" +
+				"b4: [2] [_ = 2] -> b2\n",
+		},
+		{
+			name: "switch fallthrough",
+			body: "switch 1 {\ncase 1:\nfallthrough\ncase 2:\n_ = 2\ndefault:\n_ = 3\n}",
+			want: "b0: (entry) [1] -> b3 b4 b5\n" +
+				"b1: (exit)\n" +
+				"b2: -> b1\n" +
+				"b3: [1] [fallthrough] -> b4\n" +
+				"b4: [2] [_ = 2] -> b2\n" +
+				"b5: [_ = 3] -> b2\n",
+		},
+		{
+			name: "type switch",
+			body: "var v any\nswitch v.(type) {\ncase int:\n_ = 1\n}",
+			want: "b0: (entry) [var v any] [v.(type)] -> b3 b2\n" +
+				"b1: (exit)\n" +
+				"b2: -> b1\n" +
+				"b3: [int] [_ = 1] -> b2\n",
+		},
+		{
+			name: "goto backward and forward",
+			body: "top:\n_ = 1\nif true {\ngoto top\n}\ngoto done\ndone:\nreturn",
+			want: "b0: (entry) -> b2\n" +
+				"b1: (exit)\n" +
+				"b2: [_ = 1] [true] -> b4 b3\n" +
+				"b3: [goto done] -> b5\n" +
+				"b4: [goto top] -> b2\n" +
+				"b5: [return] -> b1\n",
+		},
+		{
+			name: "dead code after return still analyzed",
+			body: "return\n_ = 1",
+			want: "b0: (entry) [return] -> b1\n" +
+				"b1: (exit)\n" +
+				"b2: [_ = 1] -> b1\n",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, fset := buildFunc(t, tt.body)
+			got := g.Describe(fset)
+			if got != tt.want {
+				t.Errorf("graph mismatch\n got:\n%s\nwant:\n%s", indent(got), indent(tt.want))
+			}
+			checkInvariants(t, g)
+		})
+	}
+}
+
+// checkInvariants asserts the structural properties every graph must
+// satisfy, whatever its shape.
+func checkInvariants(t *testing.T, g *Graph) {
+	t.Helper()
+	index := make(map[*Block]bool, len(g.Blocks))
+	for _, b := range g.Blocks {
+		index[b] = true
+	}
+	if !index[g.Entry] || !index[g.Exit] {
+		t.Errorf("entry/exit not registered in Blocks")
+	}
+	if len(g.Exit.Succs) != 0 || len(g.Exit.Nodes) != 0 {
+		t.Errorf("exit block must be empty and terminal")
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if !index[s] {
+				t.Errorf("b%d has an edge to an unregistered block", b.Index)
+			}
+			found := false
+			for _, p := range s.Preds {
+				if p == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("b%d -> b%d missing the reverse Preds edge", b.Index, s.Index)
+			}
+		}
+	}
+}
+
+// TestExitKind pins the return/panic/fall-off classification the
+// lockbalance reporting walk keys on.
+func TestExitKind(t *testing.T) {
+	g, _ := buildFunc(t, "if true {\nreturn\n} else {\npanic(\"x\")\n}")
+	kinds := map[Terminator]int{}
+	for _, b := range g.Blocks {
+		kinds[b.ExitKind(g.Exit)]++
+	}
+	if kinds[Return] != 1 || kinds[Panic] != 1 {
+		t.Errorf("want one Return and one Panic exit, got %v", kinds)
+	}
+	// The empty after-block falls off the end (it is unreachable here,
+	// but still classified).
+	if kinds[FallOff] != 1 {
+		t.Errorf("want one FallOff exit, got %v", kinds)
+	}
+}
+
+// TestReachable pins reachability over dead code and infinite loops.
+func TestReachable(t *testing.T) {
+	g, _ := buildFunc(t, "select {}\n_ = 1")
+	reach := g.Reachable()
+	if !reach[g.Entry] {
+		t.Fatalf("entry must be reachable")
+	}
+	if reach[g.Exit] {
+		t.Errorf("exit must be unreachable past select{}")
+	}
+	var dead *Block
+	for _, b := range g.Blocks {
+		if len(b.Nodes) == 1 {
+			dead = b
+		}
+	}
+	if dead == nil || reach[dead] {
+		t.Errorf("statement after select{} must be unreachable")
+	}
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ")
+}

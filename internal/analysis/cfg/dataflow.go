@@ -1,0 +1,143 @@
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Analysis defines a forward dataflow problem. Facts must be treated as
+// immutable values: Transfer and Join return fresh facts (or the input
+// unchanged) and never mutate their arguments, so one fact can safely
+// flow into several successors. The framework guarantees Transfer sees
+// a block's nodes in execution order.
+type Analysis[F any] interface {
+	// Entry is the fact at function entry — and the seed for
+	// unreachable blocks, which are still analyzed so dead code gets
+	// the same diagnostics as live code.
+	Entry() F
+	// Transfer applies one node's effect to the incoming fact.
+	Transfer(n ast.Node, in F) F
+	// Join merges the facts of two converging paths.
+	Join(a, b F) F
+	// Equal reports fact equality; it bounds the fixpoint iteration.
+	Equal(a, b F) bool
+}
+
+// maxPasses caps fixpoint iteration. The lattices darklint uses are
+// finite and low (lock counts, file states), so structured control flow
+// converges in a handful of passes; the cap only guards against a
+// non-monotone Analysis looping forever.
+const maxPasses = 64
+
+// Forward iterates the analysis to a fixpoint and returns the fact at
+// the entry of every block. Re-apply Transfer over a block's nodes to
+// recover the fact at any interior program point — the reporting walk
+// the passes run after convergence.
+func Forward[F any](g *Graph, a Analysis[F]) map[*Block]F {
+	in := make(map[*Block]F, len(g.Blocks))
+	out := make(map[*Block]F, len(g.Blocks))
+	haveOut := make(map[*Block]bool, len(g.Blocks))
+
+	order := reversePostorder(g)
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for _, blk := range order {
+			f := a.Entry()
+			seeded := blk == g.Entry
+			for _, p := range blk.Preds {
+				if !haveOut[p] {
+					continue
+				}
+				if !seeded && len(blk.Preds) > 0 {
+					// First computed predecessor replaces the seed;
+					// later ones join in.
+					f = out[p]
+					seeded = true
+					continue
+				}
+				f = a.Join(f, out[p])
+			}
+			in[blk] = f
+			for _, n := range blk.Nodes {
+				f = a.Transfer(n, f)
+			}
+			if !haveOut[blk] || !a.Equal(out[blk], f) {
+				out[blk] = f
+				haveOut[blk] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return in
+}
+
+// reversePostorder orders reachable blocks so most predecessors are
+// visited before their successors (fast convergence); unreachable
+// blocks follow in index order.
+func reversePostorder(g *Graph) []*Block {
+	seen := make(map[*Block]bool, len(g.Blocks))
+	var post []*Block
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs {
+			if !seen[s] {
+				walk(s)
+			}
+		}
+		post = append(post, b)
+	}
+	walk(g.Entry)
+	order := make([]*Block, 0, len(g.Blocks))
+	for i := len(post) - 1; i >= 0; i-- {
+		order = append(order, post[i])
+	}
+	for _, b := range g.Blocks {
+		if !seen[b] {
+			order = append(order, b)
+		}
+	}
+	return order
+}
+
+// Describe renders the graph for tests and debugging: one line per
+// block with its nodes printed as compressed source, succ edges by
+// index, and the Exit block marked. The output is deterministic.
+func (g *Graph) Describe(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d:", b.Index)
+		if b == g.Entry {
+			sb.WriteString(" (entry)")
+		}
+		if b == g.Exit {
+			sb.WriteString(" (exit)")
+		}
+		for _, n := range b.Nodes {
+			sb.WriteString(" [" + nodeText(fset, n) + "]")
+		}
+		if len(b.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range b.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func nodeText(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("%T", n)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}

@@ -1,0 +1,107 @@
+package cfg
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// markAnalysis is a tiny must-analysis used to exercise the fixpoint:
+// the fact counts how many times mark() has definitely been called on
+// every path reaching a point. Join takes the minimum — exactly the
+// shape lockbalance and fsyncrename use.
+type markAnalysis struct{}
+
+func (markAnalysis) Entry() int { return 0 }
+
+func (markAnalysis) Transfer(n ast.Node, in int) int {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return in
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return in
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" {
+		return in + 1
+	}
+	return in
+}
+
+func (markAnalysis) Join(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (markAnalysis) Equal(a, b int) bool { return a == b }
+
+// exitFact runs the analysis and returns the fact at the Exit block.
+func exitFact(t *testing.T, body string) int {
+	t.Helper()
+	g, _ := buildFunc(t, body)
+	in := Forward[int](g, markAnalysis{})
+	return in[g.Exit]
+}
+
+func TestForwardFixpoint(t *testing.T) {
+	tests := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"straight line", "mark()\nmark()", 2},
+		{"one branch only", "if true {\nmark()\n}", 0},
+		{"both branches", "if true {\nmark()\n} else {\nmark()\n}", 1},
+		{"before the branch", "mark()\nif true {\nmark()\n}", 1},
+		// A loop body may run zero times: the join of "skipped" and
+		// "ran" paths must settle at the pre-loop fact, and the back
+		// edge must not inflate it.
+		{"conditional loop", "for i := 0; i < 3; i++ {\nmark()\n}", 0},
+		{"range loop", "var xs []int\nfor range xs {\nmark()\n}", 0},
+		// A loop that marks then breaks on every path does guarantee
+		// one call.
+		{"loop with unconditional break", "for {\nmark()\nbreak\n}", 1},
+		// Switch without default: the skip edge carries the smaller
+		// fact past the cases.
+		{"switch no default", "switch 1 {\ncase 1:\nmark()\n}", 0},
+		{"switch with default", "switch 1 {\ncase 1:\nmark()\ndefault:\nmark()\n}", 1},
+		// Every select case marks, and there is no default to skip.
+		{"select all cases", "var a, b chan int\nselect {\ncase <-a:\nmark()\ncase <-b:\nmark()\n}", 1},
+		{"select with default skips", "var a chan int\nselect {\ncase <-a:\nmark()\ndefault:\n}", 0},
+		// The early return leaves with 0; only the fall-through end
+		// has seen mark(). Exit joins both to 0.
+		{"early return", "if true {\nreturn\n}\nmark()", 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := exitFact(t, tt.body); got != tt.want {
+				t.Errorf("fact at exit = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestForwardInBlockFacts pins the per-block facts the reporting walks
+// re-derive: the in-fact of the loop head is the join of the entry path
+// and the back edge.
+func TestForwardInBlockFacts(t *testing.T) {
+	g, _ := buildFunc(t, "mark()\nfor {\nmark()\n}")
+	in := Forward[int](g, markAnalysis{})
+	// The infinite loop head joins the entry path (1 mark) with the
+	// back edge (one more per iteration). A must-analysis with min join
+	// stays at 1: the first iteration has only seen the entry fact.
+	var head *Block
+	for _, b := range g.Blocks {
+		if len(b.Preds) == 2 {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatalf("no loop head with two predecessors found")
+	}
+	if in[head] != 1 {
+		t.Errorf("loop head in-fact = %d, want 1", in[head])
+	}
+}

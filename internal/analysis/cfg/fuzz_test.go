@@ -1,0 +1,69 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// FuzzBuild feeds arbitrary function bodies through the builder: any
+// body that parses must produce a well-formed graph — registered
+// blocks only, consistent Preds, an empty terminal Exit — and both the
+// fixpoint driver and the renderer must run without panicking.
+func FuzzBuild(f *testing.F) {
+	seeds := []string{
+		"return",
+		"for i := 0; i < 3; i++ {\n\tdefer f()\n}",
+		"outer:\nfor {\n\tfor {\n\t\tbreak outer\n\t}\n}",
+		"select {}",
+		"var a chan int\nselect {\ncase <-a:\ndefault:\n}",
+		"switch 1 {\ncase 1:\n\tfallthrough\ncase 2:\n}",
+		"top:\nif true {\n\tgoto top\n}",
+		"panic(\"x\")",
+		"go func() {}()",
+		"if true {\n\treturn\n}\n_ = 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		src := "package p\nfunc f() {\n" + body + "\n}"
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "f.go", src, 0)
+		if err != nil {
+			t.Skip()
+		}
+		var fn *ast.FuncDecl
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn = fd
+				break
+			}
+		}
+		if fn == nil {
+			t.Skip()
+		}
+		g := Build(fn.Body)
+		index := make(map[*Block]bool, len(g.Blocks))
+		for _, b := range g.Blocks {
+			index[b] = true
+		}
+		if !index[g.Entry] || !index[g.Exit] {
+			t.Fatalf("entry or exit not registered")
+		}
+		if len(g.Exit.Succs) != 0 || len(g.Exit.Nodes) != 0 {
+			t.Fatalf("exit must be empty and terminal")
+		}
+		for _, b := range g.Blocks {
+			for _, s := range b.Succs {
+				if !index[s] {
+					t.Fatalf("edge to unregistered block from b%d", b.Index)
+				}
+			}
+		}
+		Forward[int](g, markAnalysis{})
+		_ = g.Describe(fset)
+		_ = g.Reachable()
+	})
+}

@@ -1,0 +1,15 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"darklight/internal/analysis/analysistest"
+	"darklight/internal/analysis/passes/atomicmix"
+)
+
+// The fixture is deliberately multi-file: the atomic sites live in
+// a.go and the plain accesses in b.go, pinning the package-wide sweep
+// (and the harness's multi-file // want matching) in one place.
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicmix.Analyzer, "internal/serve")
+}

@@ -1,0 +1,33 @@
+// Fixture for the atomicmix pass, first file: the blessed sync/atomic
+// call sites. The mixed accesses live in b.go — the check is
+// package-wide, so a plain access in another file must still be caught.
+package serve
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+	// typed is safe by construction: its plain methods are the atomic
+	// API, so the pass never tracks it.
+	typed atomic.Int64
+}
+
+func (c *counters) hit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) snapshot() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+var total int64
+
+func bump() {
+	atomic.AddInt64(&total, 1)
+}
+
+func (c *counters) typedOK() int64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}

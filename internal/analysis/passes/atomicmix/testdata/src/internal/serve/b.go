@@ -1,0 +1,32 @@
+// Fixture for the atomicmix pass, second file: plain accesses of
+// objects that a.go touches through sync/atomic.
+package serve
+
+func (c *counters) reset() {
+	c.hits = 0 // want `hits is accessed with sync/atomic \(a\.go:\d+\); this plain access races`
+}
+
+func (c *counters) report() int64 {
+	return c.hits // want `hits is accessed with sync/atomic`
+}
+
+// Taking the address for a non-atomic purpose counts too: once the
+// pointer escapes, unverifiable plain writes can follow.
+func (c *counters) escape() *int64 {
+	return &c.hits // want `hits is accessed with sync/atomic`
+}
+
+func totalNow() int64 {
+	return total // want `total is accessed with sync/atomic`
+}
+
+// misses is never touched atomically; plain access is fine.
+func (c *counters) miss() {
+	c.misses++
+}
+
+// A justified waiver: single-goroutine init before anything is spawned.
+func initHits(c *counters) {
+	//lint:ignore atomicmix fixture: runs before any goroutine exists
+	c.hits = 0
+}

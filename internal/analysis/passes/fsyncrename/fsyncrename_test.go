@@ -1,0 +1,15 @@
+package fsyncrename_test
+
+import (
+	"testing"
+
+	"darklight/internal/analysis/analysistest"
+	"darklight/internal/analysis/passes/fsyncrename"
+)
+
+// The fixture is multi-file on purpose: a.go holds the general shapes
+// and compact.go replays the PR 8 checkpoint-compaction bug as a
+// golden, so the exact regression cannot quietly reappear.
+func TestFsyncRename(t *testing.T) {
+	analysistest.Run(t, "testdata", fsyncrename.Analyzer, "internal/store")
+}

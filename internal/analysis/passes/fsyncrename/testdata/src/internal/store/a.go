@@ -1,0 +1,135 @@
+// Fixture for the fsyncrename pass: files written and renamed with and
+// without a Sync in between. The PR 8 compaction regression lives in
+// compact.go — the harness matches want-comments across all files of
+// the fixture package.
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// The blessed shape: write, sync, close, rename.
+func atomicOK(path string, data []byte) error {
+	tmp, err := os.CreateTemp(".", "ok-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+// Write then rename with no Sync anywhere: the core finding. Close does
+// not flush to disk.
+func renameUnsynced(path string, data []byte) error {
+	tmp, err := os.CreateTemp(".", "bad-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(name, path) // want `os\.Rename of tmp without Sync\(\) on every path since its last write`
+}
+
+// Sync on only one branch: the must-join demotes the merged state, so
+// the rename is still flagged.
+func syncOneBranchOnly(path string, data []byte, flush bool) error {
+	tmp, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	tmp.Write(data)
+	if flush {
+		tmp.Sync()
+	}
+	return os.Rename(tmp.Name(), path) // want `os\.Rename of tmp without Sync\(\) on every path`
+}
+
+// Sync on every branch is fine even without the straight-line shape.
+func syncBothBranches(path string, data []byte, wide bool) error {
+	tmp, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	if wide {
+		tmp.Write(data)
+		tmp.Sync()
+	} else {
+		tmp.WriteString("narrow")
+		tmp.Sync()
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Passing the file to another writer counts as a write: whatever
+// fmt.Fprintf buffered or wrote, the file is no longer clean.
+func fprintfIsAWrite(path string) error {
+	tmp, err := os.CreateTemp(".", "log-*")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(tmp, "entry\n")
+	tmp.Close()
+	return os.Rename(tmp.Name(), path) // want `os\.Rename of tmp without Sync\(\)`
+}
+
+// A write after the Sync dirties the file again.
+func writeAfterSync(path string, data []byte) error {
+	tmp, err := os.CreateTemp(".", "late-*")
+	if err != nil {
+		return err
+	}
+	tmp.Write(data)
+	tmp.Sync()
+	tmp.WriteString("trailer")
+	return os.Rename(tmp.Name(), path) // want `os\.Rename of tmp without Sync\(\) on every path since its last write`
+}
+
+// Nothing was ever written, so there is nothing to flush: renaming a
+// clean file is fine (the caller is just claiming the name).
+func renameCleanFile(path string) error {
+	tmp, err := os.CreateTemp(".", "claim-*")
+	if err != nil {
+		return err
+	}
+	tmp.Close()
+	return os.Rename(tmp.Name(), path)
+}
+
+// Renames whose source is not a file created here are out of scope:
+// intraprocedurally there is nothing to prove about plain paths.
+func renameForeign(from, to string) error {
+	return os.Rename(from, to)
+}
+
+// A justified waiver: the sync happens in a helper the analysis cannot
+// see into.
+func renameSyncedElsewhere(path string, data []byte) error {
+	tmp, err := os.CreateTemp(".", "ext-*")
+	if err != nil {
+		return err
+	}
+	tmp.Write(data)
+	flushAndClose(tmp)
+	//lint:ignore fsyncrename fixture: flushAndClose syncs before closing
+	return os.Rename(tmp.Name(), path)
+}
+
+func flushAndClose(f *os.File) {
+	f.Sync()
+	f.Close()
+}

@@ -1,0 +1,31 @@
+// Fixture for the fsyncrename pass, second file: the PR 8 checkpoint
+// compaction regression. Compaction rewrote the checkpoint into a temp
+// file and renamed it into place without an fsync — a crash right after
+// the rename could publish a truncated checkpoint and lose the journal
+// replay point. The fixed production code routes through
+// store.WriteFileAtomic instead.
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func compactInPlace(path string, recs [][]byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "ckpt-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	for _, r := range recs {
+		if _, err := tmp.Write(r); err != nil {
+			tmp.Close()
+			os.Remove(name)
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(name, path) // want `os\.Rename of tmp without Sync\(\) on every path since its last write; a crash can publish a truncated file — fsync before rename or use store\.WriteFileAtomic`
+}

@@ -1,0 +1,12 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"darklight/internal/analysis/analysistest"
+	"darklight/internal/analysis/passes/goleak"
+)
+
+func TestGoLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", goleak.Analyzer, "internal/obs")
+}

@@ -1,0 +1,107 @@
+// Fixture for the goleak pass: goroutines in long-lived packages need
+// a reachable stop signal.
+package obs
+
+import (
+	"context"
+	"sync"
+)
+
+func selectOnDone(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+
+func rangeOverJobs(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+func waitThenClose(wg *sync.WaitGroup, done chan struct{}) {
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+}
+
+func plainReceive(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+func spinsForever() {
+	go func() { // want `goroutine in a long-lived package has no reachable stop signal`
+		for {
+		}
+	}()
+}
+
+func selectWithoutReceive(work chan int) {
+	go func() { // want `goroutine in a long-lived package has no reachable stop signal`
+		for {
+			select {
+			case work <- 1:
+			default:
+			}
+		}
+	}()
+}
+
+// A signal in dead code does not count: the receive below sits after an
+// unconditional return, so no reachable path ever consults it.
+func deadSignal(done chan struct{}) {
+	go func() { // want `goroutine in a long-lived package has no reachable stop signal`
+		return
+		<-done
+	}()
+}
+
+// A signal inside a nested literal belongs to a different goroutine.
+func nestedLiteralSignal(done chan struct{}) {
+	go func() { // want `goroutine in a long-lived package has no reachable stop signal`
+		f := func() { <-done }
+		_ = f
+		for {
+		}
+	}()
+}
+
+func namedWithContext(ctx context.Context) {
+	go pump(ctx)
+}
+
+func namedWithChannel(stop chan struct{}) {
+	go drain(stop)
+}
+
+func namedOrphan() {
+	go orbit() // want `goroutine in a long-lived package has no reachable stop signal`
+}
+
+// A justified waiver: the goroutine is stopped out of band by closing
+// the listener it blocks on.
+func waived() {
+	//lint:ignore goleak fixture: stopped out of band by closing the listener it serves
+	go orbit()
+}
+
+func pump(ctx context.Context) { <-ctx.Done() }
+
+func drain(stop chan struct{}) { <-stop }
+
+func orbit() {
+	for {
+	}
+}

@@ -1,0 +1,12 @@
+package lockbalance_test
+
+import (
+	"testing"
+
+	"darklight/internal/analysis/analysistest"
+	"darklight/internal/analysis/passes/lockbalance"
+)
+
+func TestLockBalance(t *testing.T) {
+	analysistest.Run(t, "testdata", lockbalance.Analyzer, "internal/serve")
+}

@@ -1,0 +1,146 @@
+// Fixture for the lockbalance pass: every mutex acquisition must be
+// released on all paths out of the function, and no path may re-acquire
+// a mutex it definitely holds.
+package serve
+
+import "sync"
+
+type svc struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func ok(s *svc) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func okDefer(s *svc) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+func okDeferLit(s *svc) {
+	s.mu.Lock()
+	defer func() {
+		s.n--
+		s.mu.Unlock()
+	}()
+	s.n++
+}
+
+func leakEarlyReturn(s *svc, err error) error {
+	s.mu.Lock()
+	if err != nil {
+		return err // want `s\.mu\.Lock\(\) is not released on every path to this return`
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+func leakEnd(s *svc) {
+	s.mu.Lock()
+	s.n++
+} // want `s\.mu\.Lock\(\) is not released on every path to this function end`
+
+func doubleLock(s *svc) {
+	s.mu.Lock()
+	s.mu.Lock() // want `s\.mu\.Lock\(\) on a path where s\.mu is already held`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func upgradeDeadlock(s *svc) {
+	s.rw.RLock()
+	s.rw.Lock() // want `s\.rw\.Lock\(\) while s\.rw\.RLock\(\) is held on the same path`
+	s.rw.Unlock()
+	s.rw.RUnlock()
+}
+
+// A conditionally acquired lock balanced by a conditional defer on the
+// same path is fine: held and deferred facts travel together.
+func conditional(s *svc, cond bool) {
+	if cond {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	s.n++
+}
+
+func loopBalanced(s *svc, xs []int) {
+	for _, x := range xs {
+		s.mu.Lock()
+		s.n += x
+		s.mu.Unlock()
+	}
+}
+
+// A lock held at a panic exit is exempt: the goroutine is unwinding.
+func panicExit(s *svc) {
+	s.mu.Lock()
+	panic("fatal")
+}
+
+func branchesBalanced(s *svc, cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+}
+
+func readSide(s *svc) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.n
+}
+
+func switchBalanced(s *svc, v int) {
+	s.mu.Lock()
+	switch v {
+	case 1:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+	}
+}
+
+func switchLeaks(s *svc, v int) {
+	s.mu.Lock()
+	switch v {
+	case 1:
+		s.mu.Unlock()
+	}
+} // want `s\.mu\.Lock\(\) is not released on every path to this function end`
+
+// Function literals balance their own locks; the enclosing function's
+// analysis never descends into them.
+func closuresAreSeparate(s *svc) func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+}
+
+// A goroutine literal that leaks reports at its own closing brace; the
+// enclosing function stays clean.
+func leakInGoroutineLiteral(s *svc) {
+	go func() {
+		s.mu.Lock()
+		s.n++
+	}() // want `s\.mu\.Lock\(\) is not released on every path to this function end`
+}
+
+// A waiver on the line above the finding suppresses it — the reason is
+// mandatory.
+func waived(s *svc) {
+	s.mu.Lock()
+	//lint:ignore lockbalance fixture: intentionally returns holding the lock
+	return
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Exposition is deterministic end to end: families sort by name, series
@@ -228,23 +229,37 @@ func AttachDebug(mux *http.ServeMux, reg *Registry) {
 }
 
 // Serve starts the debug server on addr in a background goroutine and
-// returns the bound address (useful with ":0"). The long-running commands
-// expose this behind their -obs.addr flag. Serve errors after startup are
-// reported through logf when provided.
-func Serve(addr string, reg *Registry, logf func(format string, args ...any)) (string, error) {
+// returns the bound address (useful with ":0") plus a stop function
+// that shuts the server down and waits for the goroutine to exit. The
+// long-running commands expose this behind their -obs.addr flag and
+// defer stop so the serving goroutine cannot outlive main. stop is
+// idempotent. Serve errors after startup are reported through logf
+// when provided.
+func Serve(addr string, reg *Registry, logf func(format string, args ...any)) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
 	AttachDebug(mux, reg)
 	srv := &http.Server{Handler: mux}
+	done := make(chan struct{})
+	//lint:ignore goleak the stop signal is out-of-band: stop() calls srv.Close, which unblocks srv.Serve and closes done
 	go func() {
+		defer close(done)
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed && logf != nil {
 			logf("obs: debug server: %v", err)
 		}
 	}()
-	return ln.Addr().String(), nil
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			//lint:ignore errdrop closing a listener the server owns can only fail if already closed
+			srv.Close()
+			<-done
+		})
+	}
+	return ln.Addr().String(), stop, nil
 }
 
 // WriteJSON renders the snapshot as indented JSON (the manifest embeds the

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServeStop is the goleak regression: Serve's goroutine used to run
+// until process exit with no way to stop it. The returned stop function
+// must shut the server down, wait for the serving goroutine to finish,
+// and be safe to call twice.
+func TestServeStop(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_requests_total", "requests seen").Inc()
+
+	addr, stop, err := Serve("127.0.0.1:0", reg, t.Logf)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics while serving: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read /metrics body: %v", err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatalf("close /metrics body: %v", err)
+	}
+	if !strings.Contains(string(body), "test_requests_total") {
+		t.Fatalf("metrics output missing registered counter:\n%s", body)
+	}
+
+	// stop must not return before the serving goroutine has exited, and
+	// calling it again must be a no-op rather than a panic or deadlock.
+	stop()
+	stop()
+
+	if conn, err := net.Dial("tcp", addr); err == nil {
+		if cerr := conn.Close(); cerr != nil {
+			t.Errorf("closing probe connection: %v", cerr)
+		}
+		t.Fatalf("listener on %s still accepting connections after stop", addr)
+	}
+}
+
+// TestServeBadAddr pins the error path: an unusable address reports an
+// error instead of returning a nil stop that callers would defer.
+func TestServeBadAddr(t *testing.T) {
+	if _, stop, err := Serve("256.256.256.256:0", nil, nil); err == nil {
+		stop()
+		t.Fatal("Serve on an invalid address succeeded")
+	}
+}
