@@ -553,22 +553,41 @@ func BenchmarkRescore(b *testing.B) {
 	}
 }
 
+var (
+	matchAllOnce   sync.Once
+	matchAllShared *attribution.Matcher
+	matchAllProbes []attribution.Subject
+)
+
+// benchMatchAll builds (once) the matcher both MatchAll twins share, so
+// the instrumented and uninstrumented ops score through the very same
+// index memory and their ratio measures the telemetry layer alone, not
+// allocator layout luck between two independently built indexes. The
+// warm pass populates the lazy per-subject caches so every measured op
+// sees the steady state a long-running matcher runs in.
+func benchMatchAll(b *testing.B) *attribution.Matcher {
+	b.Helper()
+	known, probes := benchSubjects(b)
+	matchAllOnce.Do(func() {
+		m, err := attribution.NewMatcher(known, attribution.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.MatchAll(context.Background(), probes); err != nil {
+			b.Fatal(err)
+		}
+		matchAllShared, matchAllProbes = m, probes
+	})
+	return matchAllShared
+}
+
 // BenchmarkMatchAll measures the full §IV-I algorithm over every probe at
 // lab scale (0.03, default options) — the headline end-to-end number.
 func BenchmarkMatchAll(b *testing.B) {
-	known, probes := benchSubjects(b)
-	m, err := attribution.NewMatcher(known, attribution.DefaultOptions())
-	if err != nil {
-		b.Fatal(err)
-	}
-	// Warm pass: populates the matcher's lazy per-subject caches so every
-	// measured op sees the steady state a long-running matcher runs in.
-	if _, err := m.MatchAll(context.Background(), probes); err != nil {
-		b.Fatal(err)
-	}
+	m := benchMatchAll(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.MatchAll(context.Background(), probes); err != nil {
+		if _, err := m.MatchAll(context.Background(), matchAllProbes); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -580,18 +599,11 @@ func BenchmarkMatchAll(b *testing.B) {
 // cmd/benchdiff -suite obs divides this by BenchmarkMatchAll to guard the
 // telemetry overhead bound (< 3%).
 func BenchmarkMatchAllObs(b *testing.B) {
-	known, probes := benchSubjects(b)
-	m, err := attribution.NewMatcher(known, attribution.DefaultOptions())
-	if err != nil {
-		b.Fatal(err)
-	}
-	if _, err := m.MatchAll(context.Background(), probes); err != nil {
-		b.Fatal(err)
-	}
+	m := benchMatchAll(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ctx := obs.WithTracer(context.Background(), obs.NewTracer())
-		if _, err := m.MatchAll(ctx, probes); err != nil {
+		if _, err := m.MatchAll(ctx, matchAllProbes); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -26,11 +26,23 @@
 // entries onto the live index instead of rebuilding from source — and
 // swaps the index atomically (in-flight queries finish on the old
 // index); SIGTERM/SIGINT stop accepting connections, drain in-flight
-// requests up to -drain, and exit. /metrics, /debug/vars, and
-// /debug/pprof are mounted beside the API.
+// requests up to -drain, and exit. /metrics, /debug/vars, /debug/pprof,
+// and /debug/traces are mounted beside the API.
+//
+// Request tracing is on by default (-trace=false disables it): every
+// response carries a traceparent + X-Request-Id, inbound traceparent
+// headers are honoured, sampled span trees are browsable at
+// /debug/traces, and -access-log appends one JSON line per request.
+// Tracing never changes a response body (the serve tests pin the bytes
+// identical either way).
+//
+// -selfcheck N runs N requests through the full in-process chain instead
+// of serving a socket — CI uses it to produce a real access log and a
+// trace-ring dump as build artifacts.
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -38,6 +50,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/signal"
 	"strings"
@@ -49,6 +62,7 @@ import (
 	"darklight/internal/attribution"
 	"darklight/internal/forum"
 	"darklight/internal/obs"
+	"darklight/internal/obs/reqtrace"
 	"darklight/internal/prefilter"
 	"darklight/internal/serve"
 	"darklight/internal/store"
@@ -56,33 +70,53 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:8787", "listen address")
-		known    = flag.String("known", "", "known dataset JSONL to index (empty: generate a synthetic world)")
-		query    = flag.String("query", "", "optional query dataset JSONL for by-alias requests (default: the known set)")
-		forumW   = flag.String("forum", "reddit", "synthetic world forum: reddit, tmg, or dm")
-		scale    = flag.Float64("scale", 0.02, "synthetic population scale")
-		seed     = flag.Uint64("seed", 1, "synthetic generator seed")
-		polish   = flag.Bool("polish", true, "run the §III-C cleaning pipeline on loaded datasets")
-		refine   = flag.Bool("refine", true, "drop aliases below the §IV-D thresholds before indexing")
-		thresh   = flag.Float64("threshold", darklight.DefaultThreshold, "acceptance threshold")
-		k        = flag.Int("k", darklight.DefaultK, "stage-1 candidate-set size")
-		budget   = flag.Int("budget", darklight.DefaultWordBudget, "per-alias word budget")
-		workers  = flag.Int("workers", 0, "index-build parallelism (0: GOMAXPROCS)")
-		apiKeys  = flag.String("api-keys", "", "comma-separated API keys; empty disables auth")
-		rate     = flag.Float64("rate", 0, "per-client requests/second (0: unlimited)")
-		burst    = flag.Int("burst", 20, "rate-limit burst size")
-		maxBody  = flag.Int64("max-body", serve.DefaultMaxBody, "request body byte limit")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-request handling deadline")
-		drain    = flag.Duration("drain", 15*time.Second, "SIGTERM drain deadline for in-flight requests")
-		preMode  = flag.String("prefilter", "", "default stage-1 candidate pre-filter: exact, pruned, or lsh (empty: pruned); /v1/rank requests may override per query")
-		lshBands = flag.Int("lsh-bands", 0, "MinHash-LSH band count (0: the built-in default)")
-		lshRows  = flag.Int("lsh-rows", 0, "MinHash rows per LSH band (0: the built-in default)")
-		indexDir = flag.String("index-dir", "", "index store directory (index.snap + journal.jsonl): cold-start from the snapshot when present; SIGHUP replays journal deltas instead of rebuilding")
-		saveIdx  = flag.Bool("save-index", false, "write the index back to -index-dir after build/replay and compact the journal")
+		listen    = flag.String("listen", "127.0.0.1:8787", "listen address")
+		known     = flag.String("known", "", "known dataset JSONL to index (empty: generate a synthetic world)")
+		query     = flag.String("query", "", "optional query dataset JSONL for by-alias requests (default: the known set)")
+		forumW    = flag.String("forum", "reddit", "synthetic world forum: reddit, tmg, or dm")
+		scale     = flag.Float64("scale", 0.02, "synthetic population scale")
+		seed      = flag.Uint64("seed", 1, "synthetic generator seed")
+		polish    = flag.Bool("polish", true, "run the §III-C cleaning pipeline on loaded datasets")
+		refine    = flag.Bool("refine", true, "drop aliases below the §IV-D thresholds before indexing")
+		thresh    = flag.Float64("threshold", darklight.DefaultThreshold, "acceptance threshold")
+		k         = flag.Int("k", darklight.DefaultK, "stage-1 candidate-set size")
+		budget    = flag.Int("budget", darklight.DefaultWordBudget, "per-alias word budget")
+		workers   = flag.Int("workers", 0, "index-build parallelism (0: GOMAXPROCS)")
+		apiKeys   = flag.String("api-keys", "", "comma-separated API keys; empty disables auth")
+		rate      = flag.Float64("rate", 0, "per-client requests/second (0: unlimited)")
+		burst     = flag.Int("burst", 20, "rate-limit burst size")
+		maxBody   = flag.Int64("max-body", serve.DefaultMaxBody, "request body byte limit")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request handling deadline")
+		drain     = flag.Duration("drain", 15*time.Second, "SIGTERM drain deadline for in-flight requests")
+		preMode   = flag.String("prefilter", "", "default stage-1 candidate pre-filter: exact, pruned, or lsh (empty: pruned); /v1/rank requests may override per query")
+		lshBands  = flag.Int("lsh-bands", 0, "MinHash-LSH band count (0: the built-in default)")
+		lshRows   = flag.Int("lsh-rows", 0, "MinHash rows per LSH band (0: the built-in default)")
+		indexDir  = flag.String("index-dir", "", "index store directory (index.snap + journal.jsonl): cold-start from the snapshot when present; SIGHUP replays journal deltas instead of rebuilding")
+		saveIdx   = flag.Bool("save-index", false, "write the index back to -index-dir after build/replay and compact the journal")
+		traceOn   = flag.Bool("trace", true, "request tracing: traceparent propagation, per-stage span capture, /debug/traces")
+		traceRing = flag.Int("trace-ring", reqtrace.DefaultRing, "sampled traces retained in memory for /debug/traces")
+		traceRate = flag.Float64("trace-sample", 0.01, "probability a request's span tree is retained (slow and inbound-sampled requests are always kept)")
+		traceSlow = flag.Duration("trace-slow", 250*time.Millisecond, "always retain traces of requests at least this slow (0 disables the slow rule)")
+		accessLog = flag.String("access-log", "", "append one JSON line per request to this file (empty: no access log)")
+		selfcheck = flag.Int("selfcheck", 0, "run N in-process requests through the full chain, dump the trace listing to stdout, and exit instead of serving")
 	)
 	flag.Parse()
 	if *saveIdx && *indexDir == "" {
 		log.Fatal("attributed: -save-index requires -index-dir")
+	}
+
+	var rec *reqtrace.Recorder
+	if *traceOn || *accessLog != "" {
+		o := reqtrace.Options{Ring: *traceRing, SampleRate: *traceRate, Slow: *traceSlow}
+		if *accessLog != "" {
+			f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Fatalf("attributed: -access-log: %v", err)
+			}
+			defer f.Close()
+			o.AccessLog = f
+		}
+		rec = reqtrace.NewRecorder(o)
 	}
 
 	pipe := darklight.NewPipeline(
@@ -122,6 +156,7 @@ func main() {
 		RatePerSec: *rate,
 		Burst:      *burst,
 		MaxBody:    *maxBody,
+		Trace:      rec,
 	})
 	if err != nil {
 		log.Fatalf("attributed: %v", err)
@@ -131,6 +166,24 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", svc.Handler())
 	obs.AttachDebug(mux, obs.Default())
+	obs.RegisterRuntime(obs.Default())
+	if rec != nil {
+		mux.Handle("/debug/traces", rec.Handler())
+		mux.Handle("/debug/traces/", rec.Handler())
+	}
+
+	if *selfcheck > 0 {
+		keys := splitKeys(*apiKeys)
+		key := ""
+		if len(keys) > 0 {
+			key = keys[0]
+		}
+		if err := selfCheck(mux, rec, *selfcheck, key); err != nil {
+			log.Fatalf("attributed: %v", err)
+		}
+		log.Printf("attributed: selfcheck passed (%d requests)", *selfcheck)
+		return
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -182,6 +235,39 @@ func main() {
 // closes the listener out from under it.
 func isClosedListener(err error) bool {
 	return errors.Is(err, net.ErrClosed)
+}
+
+// selfCheck drives n requests through the assembled mux in process — the
+// same middleware chain, tracing, and sinks a socket client would hit —
+// then dumps the sampled-trace listing to stdout. CI runs this mode to
+// publish a real access log and trace dump as build artifacts; it fails
+// on the first non-200 so a broken chain cannot produce green artifacts.
+func selfCheck(mux http.Handler, rec *reqtrace.Recorder, n int, apiKey string) error {
+	// An inline subject keeps the probe corpus-independent: it exercises
+	// resolve + prefilter + rank without assuming any alias names.
+	rank := []byte(`{"subject":{"name":"selfcheck","messages":[{"body":"shipment arrived with stealth packaging and escrow finalize quality tracking","time":"2017-03-04T10:00:00Z"}]},"k":3}`)
+	for i := 0; i < n; i++ {
+		method, path, body := http.MethodPost, "/v1/rank", rank
+		if i%4 == 3 {
+			method, path, body = http.MethodGet, "/v1/healthz", nil
+		}
+		req := httptest.NewRequest(method, path, bytes.NewReader(body))
+		if apiKey != "" && method == http.MethodPost {
+			req.Header.Set("X-API-Key", apiKey)
+		}
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			return fmt.Errorf("selfcheck request %d: %s %s: %d %s", i, method, path, w.Code, w.Body.String())
+		}
+	}
+	if rec != nil {
+		w := httptest.NewRecorder()
+		rec.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/debug/traces", nil))
+		//lint:ignore errdrop a failed stdout write has no channel left to report through
+		os.Stdout.Write(w.Body.Bytes())
+	}
+	return nil
 }
 
 // splitKeys parses the -api-keys flag.
@@ -383,6 +469,8 @@ func makeStoreLoader(st *store.Store, opts attribution.Options, subjOpts attribu
 		if err != nil {
 			return nil, err
 		}
-		return &serve.Corpus{Known: next.Subjects, Query: q, Matcher: next.Matcher}, nil
+		// Surfacing LastSeq lets /v1/healthz report how current the serving
+		// snapshot is relative to the store's journal.
+		return &serve.Corpus{Known: next.Subjects, Query: q, Matcher: next.Matcher, LastJournalSeq: &next.LastSeq}, nil
 	}
 }

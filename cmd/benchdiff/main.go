@@ -49,6 +49,11 @@
 // recorded under `overheads`. `-maxoverhead` (percent, default 3; 0
 // disables) turns the ratio into a gate: telemetry costing more than the
 // bound fails the run.
+//
+// `benchdiff -summary` runs nothing: it joins every BENCH_*.json in the
+// working directory into one aligned table (per-benchmark before/after
+// ns/op, speedups, serve p99, plus the derived overhead and speedup
+// ratios) — the whole recorded perf surface in one read.
 package main
 
 import (
@@ -57,6 +62,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"runtime"
 	"sort"
@@ -141,10 +147,10 @@ var suites = map[string]suite{
 		description: "Telemetry overhead trajectory: instrumented (tracing on, metrics live) vs uninstrumented runs of the two headline paths. Regenerate with `go run ./cmd/benchdiff -suite obs -phase before|after`; `overheads` holds (obs ÷ base) − 1 per pair, gated by -maxoverhead.",
 	},
 	"serve": {
-		pattern:     "^(BenchmarkServeRank|BenchmarkServeMatch|BenchmarkServeMixed)$",
+		pattern:     "^(BenchmarkServeRank|BenchmarkServeRankObs|BenchmarkServeMatch|BenchmarkServeMixed)$",
 		out:         "BENCH_serve.json",
 		pkg:         "./internal/serve",
-		description: "Serving-layer load trajectory: closed-loop concurrent drivers through the full /v1 middleware + handler chain, with every response verified byte-identical to the sequential matcher. Regenerate with `go run ./cmd/benchdiff -suite serve -phase before|after`; `p99_ns` is the per-request tail latency, gated by -maxp99.",
+		description: "Serving-layer load trajectory: closed-loop concurrent drivers through the full /v1 middleware + handler chain, with every response verified byte-identical to the sequential matcher. ServeRankObs repeats the rank load with request tracing live; `overheads` holds its (obs ÷ base) − 1 ratio, gated by -maxoverhead. Regenerate with `go run ./cmd/benchdiff -suite serve -phase before|after`; `p99_ns` is the per-request tail latency, gated by -maxp99.",
 	},
 	"prefilter": {
 		pattern:     "^(BenchmarkRankExact|BenchmarkRankPruned|BenchmarkRankLSH)$",
@@ -173,7 +179,19 @@ func main() {
 	minPruned := flag.Float64("minpruned", 0, "fail when the pruned path is not at least this many times faster than the exact scan at the largest world size (0 disables)")
 	minLSH := flag.Float64("minlsh", 0, "fail when the LSH path is not at least this many times faster than the exact scan at the largest world size (0 disables)")
 	minColdStart := flag.Float64("mincoldstart", 0, "fail when loading the snapshot is not at least this many times faster than rebuilding the index at the largest world size (0 disables)")
+	summary := flag.Bool("summary", false, "join every BENCH_*.json into one table on stdout and exit; runs no benchmarks")
 	flag.Parse()
+	if *summary {
+		paths, err := filepath.Glob("BENCH_*.json")
+		if err == nil {
+			err = runSummary(paths, os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *phase != "before" && *phase != "after" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -phase must be 'before' or 'after'")
 		flag.Usage()

@@ -1,0 +1,140 @@
+package main
+
+// -summary joins every recorded trajectory file (BENCH_*.json) into one
+// aligned table so the whole perf surface — matcher, ingest, obs
+// overhead, serving tail latency, pre-filter and cold-start speedups —
+// reads in a single glance instead of six JSON files. It is read-only:
+// no benchmarks run, nothing is rewritten.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// runSummary renders the trajectory files at paths as one table. Files
+// that fail to parse are reported and skipped — a summary over five of
+// six suites still beats no summary.
+func runSummary(paths []string, w io.Writer) error {
+	sort.Strings(paths)
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)
+	//lint:ignore errdrop tabwriter buffers; write errors surface at the checked Flush
+	fmt.Fprintln(tw, "suite\tbenchmark\tbefore\tafter\tspeedup\tp99")
+	type ratio struct {
+		suite, kind, key string
+		v                float64
+	}
+	var ratios []ratio
+	seen := 0
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: skipping %s: %v\n", path, err)
+			continue
+		}
+		var f File
+		if err := json.Unmarshal(data, &f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: skipping unreadable %s: %v\n", path, err)
+			continue
+		}
+		seen++
+		suiteName := strings.TrimSuffix(strings.TrimPrefix(trimDir(path), "BENCH_"), ".json")
+		names := make([]string, 0, len(f.Benchmarks))
+		for n := range f.Benchmarks {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			e := f.Benchmarks[n]
+			//lint:ignore errdrop tabwriter buffers; write errors surface at the checked Flush
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n",
+				suiteName, n, fmtNs(e.Before), fmtNs(e.After), fmtSpeedup(e.Speedup), fmtP99(e))
+		}
+		for key, v := range f.Overheads {
+			ratios = append(ratios, ratio{suiteName, "overhead", key, v})
+		}
+		for key, v := range f.PrefilterSpeedups {
+			ratios = append(ratios, ratio{suiteName, "prefilter-speedup", key, v})
+		}
+		for key, v := range f.ColdStartSpeedups {
+			ratios = append(ratios, ratio{suiteName, "cold-start-speedup", key, v})
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if seen == 0 {
+		return fmt.Errorf("no readable trajectory files among %d candidates", len(paths))
+	}
+	if len(ratios) > 0 {
+		sort.Slice(ratios, func(i, j int) bool {
+			a, b := ratios[i], ratios[j]
+			if a.suite != b.suite {
+				return a.suite < b.suite
+			}
+			if a.kind != b.kind {
+				return a.kind < b.kind
+			}
+			return a.key < b.key
+		})
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		tw = tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)
+		//lint:ignore errdrop tabwriter buffers; write errors surface at the checked Flush
+		fmt.Fprintln(tw, "suite\tderived\tpair\tvalue")
+		for _, r := range ratios {
+			val := fmt.Sprintf("%.2fx", r.v)
+			if r.kind == "overhead" {
+				val = fmt.Sprintf("%+.1f%%", r.v*100)
+			}
+			//lint:ignore errdrop tabwriter buffers; write errors surface at the checked Flush
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", r.suite, r.kind, r.key, val)
+		}
+		return tw.Flush()
+	}
+	return nil
+}
+
+// trimDir strips any directory prefix so suite naming works for paths
+// like ./BENCH_serve.json too.
+func trimDir(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// fmtNs renders one phase's ns/op as a duration ("-" for a phase not yet
+// recorded).
+func fmtNs(m *Metrics) string {
+	if m == nil || m.NsPerOp == 0 {
+		return "-"
+	}
+	return time.Duration(m.NsPerOp).Round(10 * time.Nanosecond).String()
+}
+
+// fmtSpeedup renders before÷after ("-" until both phases exist).
+func fmtSpeedup(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", v)
+}
+
+// fmtP99 renders the most recent phase's p99-ns metric, preferring after.
+func fmtP99(e *Entry) string {
+	m := e.After
+	if m == nil || m.P99Ns == 0 {
+		m = e.Before
+	}
+	if m == nil || m.P99Ns == 0 {
+		return "-"
+	}
+	return time.Duration(m.P99Ns).Round(10 * time.Nanosecond).String()
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSummaryJoinsSuites renders two trajectory files — one with both
+// phases and derived ratios, one before-only — and checks the table:
+// suites sorted, benchmarks sorted within each, phases formatted as
+// durations, missing cells dashed, and the derived-ratio section present.
+func TestRunSummaryJoinsSuites(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	serve := write("BENCH_serve.json", `{
+		"description": "serve",
+		"benchmarks": {
+			"ServeRank":    {"before": {"ns_per_op": 1500000, "samples": 3}, "after": {"ns_per_op": 1000000, "p99_ns": 2500000, "samples": 3}, "speedup": 1.5},
+			"ServeRankObs": {"after": {"ns_per_op": 1020000, "samples": 3}}
+		},
+		"overheads": {"ServeRank": 0.02}
+	}`)
+	matcher := write("BENCH_matcher.json", `{
+		"description": "matcher",
+		"benchmarks": {"Rank": {"before": {"ns_per_op": 42000, "samples": 5}}}
+	}`)
+
+	var out strings.Builder
+	if err := runSummary([]string{serve, matcher}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "suite") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	// matcher sorts before serve; ServeRank before ServeRankObs.
+	var rows []string
+	for _, l := range lines[1:] {
+		if f := strings.Fields(l); len(f) >= 2 {
+			rows = append(rows, f[0]+" "+f[1])
+		}
+		if strings.TrimSpace(l) == "" {
+			break // derived-ratio section follows
+		}
+	}
+	wantRows := []string{"matcher Rank", "serve ServeRank", "serve ServeRankObs"}
+	if strings.Join(rows, ",") != strings.Join(wantRows, ",") {
+		t.Fatalf("rows %v, want %v\n%s", rows, wantRows, got)
+	}
+	for _, want := range []string{
+		"1.5ms",    // ServeRank before, as a duration
+		"1ms",      // ServeRank after
+		"1.50x",    // speedup
+		"2.5ms",    // p99 from the after phase
+		"42µs",     // matcher before
+		"overhead", // derived section
+		"+2.0%",    // overhead formatting
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("summary lacks %q:\n%s", want, got)
+		}
+	}
+	// Before-only rows leave after and speedup dashed.
+	for _, l := range lines {
+		if strings.HasPrefix(l, "matcher") && strings.Count(l, "-") < 2 {
+			t.Fatalf("matcher row should dash missing phases: %q", l)
+		}
+	}
+}
+
+// TestRunSummarySkipsUnreadable: a corrupt file is skipped with a stderr
+// note; all-corrupt input is an error.
+func TestRunSummarySkipsUnreadable(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "BENCH_bad.json")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good := filepath.Join(dir, "BENCH_ok.json")
+	if err := os.WriteFile(good, []byte(`{"benchmarks":{"X":{"before":{"ns_per_op":100,"samples":1}}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runSummary([]string{bad, good}, &out); err != nil {
+		t.Fatalf("one good file should succeed: %v", err)
+	}
+	found := false
+	for _, l := range strings.Split(out.String(), "\n") {
+		if f := strings.Fields(l); len(f) >= 3 && f[0] == "ok" && f[1] == "X" && f[2] == "100ns" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("good suite missing: %s", out.String())
+	}
+	if err := runSummary([]string{bad}, &out); err == nil {
+		t.Fatal("all-unreadable input should error")
+	}
+}

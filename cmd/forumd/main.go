@@ -20,6 +20,7 @@ import (
 	"darklight/internal/darkweb"
 	"darklight/internal/forum"
 	"darklight/internal/obs"
+	"darklight/internal/obs/reqtrace"
 )
 
 func main() {
@@ -35,6 +36,7 @@ func main() {
 		truncate   = flag.Float64("truncate", 0, "probability of a torn (truncated) response body")
 		stall      = flag.Float64("stall", 0, "probability of a response stalling mid-body")
 		flaky      = flag.Int("failfirst", 0, "every page 503s its first N requests, then succeeds")
+		accessLog  = flag.String("access-log", "", "append one JSON line per request to this file (empty: no access log)")
 	)
 	flag.Parse()
 
@@ -58,10 +60,23 @@ func main() {
 
 	// The forum pages mount at /; the observability surfaces (/metrics,
 	// /debug/vars, /debug/pprof/) mount beside them — ServeMux routes the
-	// longer patterns first.
+	// longer patterns first. With -access-log, the page tree is wrapped in
+	// the generic request-tracing middleware: every response carries a
+	// traceparent + request id and the log gets one JSON line per request.
+	var pages http.Handler = srv.Handler()
+	if *accessLog != "" {
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("forumd: -access-log: %v", err)
+		}
+		defer f.Close()
+		rec := reqtrace.NewRecorder(reqtrace.Options{AccessLog: f})
+		pages = reqtrace.Middleware(pages, rec, time.Now)
+	}
 	mux := http.NewServeMux()
-	mux.Handle("/", srv.Handler())
+	mux.Handle("/", pages)
 	obs.AttachDebug(mux, obs.Default())
+	obs.RegisterRuntime(obs.Default())
 
 	server := &http.Server{
 		Addr:              *listen,

@@ -14,9 +14,11 @@ import (
 	"darklight/internal/analysis/astquery"
 )
 
-// DefaultScope lists the deterministic packages (ISSUE 4 tentpole).
+// DefaultScope lists the deterministic packages (ISSUE 4 tentpole) plus
+// the request-tracing layer, whose sampling draws must come from its own
+// seeded splitmix64 stream rather than the global generator.
 const DefaultScope = "internal/synth,internal/corpus,internal/anonymize,internal/experiments,internal/eval," +
-	"internal/prefilter"
+	"internal/prefilter,internal/obs/reqtrace"
 
 // globalFuncs are the package-level functions of math/rand (and /v2)
 // that draw from the shared, unseedable-in-tests global source.

@@ -7,7 +7,10 @@
 // telemetry layer (span durations and manifest timestamps — durations
 // are exported as timings and never feed back into pipeline output),
 // the scraper's politeness limiter and retry backoff, the
-// fault-injecting darkweb server, and CLI/example progress timers. A
+// fault-injecting darkweb server, and CLI/example progress timers. The
+// obs/reqtrace subpackage is carved back OUT of the obs allowance with a
+// "!" exclusion: request latencies arrive from the caller's injected
+// clock, so the tracing layer itself must never read the wall clock. A
 // single call site elsewhere can carry `//lint:ignore wallclock
 // <reason>` instead of widening the allowlist.
 package wallclock
@@ -20,7 +23,7 @@ import (
 )
 
 // DefaultAllow lists the packages allowed to read the wall clock.
-const DefaultAllow = "internal/obs,internal/scraper,internal/darkweb,cmd,examples"
+const DefaultAllow = "internal/obs,!internal/obs/reqtrace,internal/scraper,internal/darkweb,cmd,examples"
 
 var allow = analysis.NewScope(DefaultAllow)
 

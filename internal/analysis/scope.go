@@ -9,6 +9,11 @@ import "strings"
 // ("darklight/internal/synth") and its analysistest stand-in
 // ("internal/synth"), and "cmd" covers every command. The special
 // pattern "all" matches everything.
+//
+// A pattern starting with "!" is an exclusion and always wins: the scope
+// "internal/obs,!internal/obs/reqtrace" covers the obs tree except the
+// reqtrace subpackage, regardless of pattern order. A scope of only
+// exclusions matches nothing (there is no implicit "all").
 type Scope []string
 
 // NewScope splits a comma-separated pattern list, dropping empties.
@@ -31,9 +36,19 @@ func (s *Scope) Set(csv string) error {
 	return nil
 }
 
-// Matches reports whether any pattern matches the package path.
+// Matches reports whether any positive pattern matches the package path
+// and no "!"-negated pattern does. Exclusions are checked first so they
+// win independent of where they sit in the list.
 func (s Scope) Matches(pkgPath string) bool {
 	for _, pat := range s {
+		if neg, ok := strings.CutPrefix(pat, "!"); ok && (neg == "all" || matchSegments(neg, pkgPath)) {
+			return false
+		}
+	}
+	for _, pat := range s {
+		if strings.HasPrefix(pat, "!") {
+			continue
+		}
 		if pat == "all" || matchSegments(pat, pkgPath) {
 			return true
 		}

@@ -20,6 +20,15 @@ func TestScopeMatches(t *testing.T) {
 		{"", "m/internal/x", false},
 		{"internal/scraper", "darklight/internal/scraper", true},
 		{"darklight", "darklight", true},
+		// "!" exclusions carve subtrees out of a broader pattern and win
+		// regardless of order.
+		{"internal/obs,!internal/obs/reqtrace", "darklight/internal/obs", true},
+		{"internal/obs,!internal/obs/reqtrace", "darklight/internal/obs/reqtrace", false},
+		{"!internal/obs/reqtrace,internal/obs", "darklight/internal/obs/reqtrace", false},
+		{"all,!cmd", "darklight/cmd/scrape", false},
+		{"all,!cmd", "darklight/internal/obs", true},
+		{"!cmd", "darklight/internal/obs", false}, // exclusions alone match nothing
+		{"!all,internal/obs", "darklight/internal/obs", false},
 	}
 	for _, c := range cases {
 		if got := NewScope(c.scope).Matches(c.path); got != c.want {

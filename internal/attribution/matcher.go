@@ -556,8 +556,10 @@ func (m *Matcher) rankDoc(doc *features.Doc, unknown *Subject, o MatchOptions, b
 		// entries in name order) matches historical output.
 		scores, _ := buf.scoreBufs(len(m.known))
 		st := prefilter.Stats{Mode: prefilter.ModeExact, Candidates: len(m.known), Scored: len(m.known)}
+		out, ev := topKScores(m.known, scores, k, &buf.heap)
+		st.Evictions = ev
 		prefilter.Observe(st)
-		return topKScores(m.known, scores, k, &buf.heap), st
+		return out, st
 	}
 	if mode == prefilter.ModeLSH && ub.grams.Len() == 0 {
 		// Nothing to hash: stay lossless rather than return nothing.

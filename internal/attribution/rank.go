@@ -95,7 +95,9 @@ func (m *Matcher) rankExact(ub *blocks, k int, w Weights, uNorm float64, buf *ma
 		scores[i] = dot / (uNorm * kn)
 	}
 	st := prefilter.Stats{Mode: prefilter.ModeExact, Candidates: len(m.known), Scored: len(m.known)}
-	return topKScores(m.known, scores, k, &buf.heap), st
+	out, ev := topKScores(m.known, scores, k, &buf.heap)
+	st.Evictions = ev
+	return out, st
 }
 
 // scoreOne exactly scores one known subject, bit-identical to what the
@@ -256,7 +258,7 @@ func (m *Matcher) rankPruned(ub *blocks, k int, w Weights, uNorm float64, buf *m
 	bounds.Init()
 
 	topk := buf.heap[:0]
-	scored := 0
+	scored, evictions := 0, 0
 	for len(bounds) > 0 {
 		if len(topk) == k && bounds[0].UB < topk[0].score {
 			break
@@ -265,7 +267,11 @@ func (m *Matcher) rankPruned(ub *blocks, k int, w Weights, uNorm float64, buf *m
 		i := int(b.ID)
 		s := m.scoreOne(i, ub, qv32, wf2, wa2, w, uNorm)
 		scored++
-		topk = pushTopK(m.known, topk, k, heapEntry{score: s, index: i})
+		var ev bool
+		topk, ev = pushTopK(m.known, topk, k, heapEntry{score: s, index: i})
+		if ev {
+			evictions++
+		}
 	}
 	buf.bounds = buf.bounds[:0]
 
@@ -291,7 +297,11 @@ func (m *Matcher) rankPruned(ub *blocks, k int, w Weights, uNorm float64, buf *m
 			}
 			s := m.scoreOne(i, ub, qv32, wf2, wa2, w, uNorm)
 			scored++
-			topk = pushTopK(m.known, topk, k, heapEntry{score: s, index: i})
+			var ev bool
+			topk, ev = pushTopK(m.known, topk, k, heapEntry{score: s, index: i})
+			if ev {
+				evictions++
+			}
 		}
 	}
 	buf.heap = topk
@@ -303,7 +313,7 @@ func (m *Matcher) rankPruned(ub *blocks, k int, w Weights, uNorm float64, buf *m
 	}
 	buf.touched = touched[:0]
 
-	st := prefilter.Stats{Mode: prefilter.ModePruned, Candidates: scored, Scored: scored, Pruned: n - scored}
+	st := prefilter.Stats{Mode: prefilter.ModePruned, Candidates: scored, Scored: scored, Pruned: n - scored, Evictions: evictions}
 	return drainTopK(m.known, topk), st
 }
 
@@ -341,13 +351,18 @@ func (m *Matcher) rankLSH(ub *blocks, k int, w Weights, uNorm float64, buf *matc
 	wf2 := w.Freq * w.Freq
 	wa2 := w.Activity * w.Activity
 	topk := buf.heap[:0]
+	evictions := 0
 	for _, id := range buf.cands {
 		i := int(id)
 		s := m.scoreOne(i, ub, qv32, wf2, wa2, w, uNorm)
-		topk = pushTopK(m.known, topk, k, heapEntry{score: s, index: i})
+		var ev bool
+		topk, ev = pushTopK(m.known, topk, k, heapEntry{score: s, index: i})
+		if ev {
+			evictions++
+		}
 	}
 	buf.heap = topk
-	st := prefilter.Stats{Mode: prefilter.ModeLSH, Candidates: len(buf.cands), Scored: len(buf.cands), Pruned: n - len(buf.cands)}
+	st := prefilter.Stats{Mode: prefilter.ModeLSH, Candidates: len(buf.cands), Scored: len(buf.cands), Pruned: n - len(buf.cands), Evictions: evictions}
 	return drainTopK(m.known, topk), st
 }
 

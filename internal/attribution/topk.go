@@ -63,11 +63,15 @@ func siftDown(known []Subject, h []heapEntry, i, n int) {
 }
 
 // pushTopK streams one candidate into a k-bounded heap and returns the
-// (possibly grown) heap. The root is the worst retained entry — the running
+// (possibly grown) heap plus whether the candidate evicted a previously
+// retained entry. The root is the worst retained entry — the running
 // k-th-best threshold the pruned pre-filter compares upper bounds against.
-func pushTopK(known []Subject, h []heapEntry, k int, e heapEntry) []heapEntry {
+// Eviction counts are a per-query diagnostic (surfaced through
+// prefilter.Stats into request traces): many evictions mean the candidate
+// stream arrived in a poor order for the heap.
+func pushTopK(known []Subject, h []heapEntry, k int, e heapEntry) ([]heapEntry, bool) {
 	if k <= 0 {
-		return h
+		return h, false
 	}
 	if len(h) < k {
 		h = append(h, e)
@@ -75,8 +79,9 @@ func pushTopK(known []Subject, h []heapEntry, k int, e heapEntry) []heapEntry {
 	} else if entryWorse(known, h[0], e) {
 		h[0] = e
 		siftDown(known, h, 0, len(h))
+		return h, true
 	}
-	return h
+	return h, false
 }
 
 // drainTopK empties a bounded heap into ranked output — best first, ties by
@@ -94,9 +99,10 @@ func drainTopK(known []Subject, h []heapEntry) []Scored {
 }
 
 // topKScores selects the k best (score, name) pairs, best first; ties break
-// by name for determinism. scratch, when non-nil, supplies the reusable
-// heap buffer of a matchBuffers (its capacity is kept and grown in place).
-func topKScores(known []Subject, scores []float64, k int, scratch *[]heapEntry) []Scored {
+// by name for determinism, and the eviction count rides along for trace
+// stats. scratch, when non-nil, supplies the reusable heap buffer of a
+// matchBuffers (its capacity is kept and grown in place).
+func topKScores(known []Subject, scores []float64, k int, scratch *[]heapEntry) ([]Scored, int) {
 	if k > len(scores) {
 		k = len(scores)
 	}
@@ -107,11 +113,16 @@ func topKScores(known []Subject, scores []float64, k int, scratch *[]heapEntry) 
 	if scratch != nil {
 		h = (*scratch)[:0]
 	}
+	evictions := 0
 	for i := range scores {
-		h = pushTopK(known, h, k, heapEntry{score: scores[i], index: i})
+		var ev bool
+		h, ev = pushTopK(known, h, k, heapEntry{score: scores[i], index: i})
+		if ev {
+			evictions++
+		}
 	}
 	if scratch != nil {
 		*scratch = h // keep the (possibly grown) capacity for the next query
 	}
-	return drainTopK(known, h)
+	return drainTopK(known, h), evictions
 }

@@ -59,8 +59,13 @@ func TestTopKMatchesReferenceSort(t *testing.T) {
 			}
 		}
 		for _, k := range []int{0, 1, 2, 10, n - 1, n, n + 7} {
-			got := topKScores(known, scores, k, nil)
+			got, evictions := topKScores(known, scores, k, nil)
 			want := referenceTopK(known, scores, k)
+			// Every push either grows the heap or (at most) evicts once, so
+			// evictions can never exceed the candidates beyond the first k.
+			if max := n - len(want); evictions > max || evictions < 0 {
+				t.Fatalf("trial %d k=%d: evictions %d out of range [0, %d]", trial, k, evictions, max)
+			}
 			if len(got) != len(want) {
 				t.Fatalf("trial %d k=%d: len %d, want %d", trial, k, len(got), len(want))
 			}
@@ -89,10 +94,10 @@ func TestTopKScratchReuse(t *testing.T) {
 			scores[i] = r.Float64()
 		}
 		k := 1 + r.Intn(n+3)
-		got := topKScores(known, scores, k, &scratch)
-		want := topKScores(known, scores, k, nil)
-		if !reflect.DeepEqual(got, want) {
-			t.Fatalf("trial %d: scratch-reuse selection diverged:\ngot  %v\nwant %v", trial, got, want)
+		got, gotEv := topKScores(known, scores, k, &scratch)
+		want, wantEv := topKScores(known, scores, k, nil)
+		if !reflect.DeepEqual(got, want) || gotEv != wantEv {
+			t.Fatalf("trial %d: scratch-reuse selection diverged:\ngot  %v (ev %d)\nwant %v (ev %d)", trial, got, gotEv, want, wantEv)
 		}
 	}
 }

@@ -46,8 +46,10 @@ type FamilySnapshot struct {
 	Series []SeriesSnapshot `json:"series"`
 }
 
-// Snapshot captures every family, deterministically ordered.
+// Snapshot captures every family, deterministically ordered. Registered
+// collectors run first, so pull-style gauges are fresh in the output.
 func (r *Registry) Snapshot() []FamilySnapshot {
+	r.collect()
 	r.mu.Lock()
 	fams := make([]*family, 0, len(r.families))
 	for _, f := range r.families {

@@ -53,14 +53,28 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // observed values. The sum is a float64 accumulated with CAS; when the
 // observed values are integral (item counts, byte counts) the sum is
 // exact regardless of observation order.
+//
+// Every histogram in this registry measures a non-negative quantity
+// (durations, counts, bytes), so NaN and negative observations can only
+// be bugs in the caller — and admitting them would poison the series
+// permanently (a single NaN turns the sum into NaN forever; a negative
+// value lands in the lowest bucket and drags the sum down). Observe
+// drops them into a typed counter instead, so the corruption is visible
+// without being contagious.
 type Histogram struct {
 	bounds []float64      // ascending upper bounds; +Inf bucket is implicit
 	counts []atomic.Int64 // len(bounds)+1, last is the +Inf bucket
 	sum    atomic.Uint64  // float64 bits
+	drops  Counter        // NaN/negative observations rejected
 }
 
-// Observe records one value.
+// Observe records one value. NaN and negative values are rejected and
+// counted in Drops instead of corrupting the bucket counts and sum.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || v < 0 {
+		h.drops.Inc()
+		return
+	}
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)
 	h.counts[i].Add(1)
 	for {
@@ -71,6 +85,9 @@ func (h *Histogram) Observe(v float64) {
 		}
 	}
 }
+
+// Drops returns how many observations were rejected as NaN or negative.
+func (h *Histogram) Drops() int64 { return h.drops.Value() }
 
 // Count returns the total number of observations.
 func (h *Histogram) Count() int64 {
@@ -153,11 +170,54 @@ func (f *family) get(values []string) *series {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+
+	// collectors run (in registration order) at the start of every
+	// Snapshot, refreshing gauges whose source of truth lives outside the
+	// registry — runtime stats, rolling-window quantiles. Keyed by name so
+	// re-registration replaces rather than stacks.
+	collectors     map[string]func()
+	collectorOrder []string
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*family)}
+}
+
+// RegisterCollector installs fn to run at the start of every Snapshot
+// (and therefore every Prometheus/JSON exposition), before the families
+// are read. Collectors refresh pull-style gauges — runtime stats, rolling
+// quantiles — that have no natural event to update them. Registering the
+// same name again replaces the previous collector, so packages that
+// register at construction time stay idempotent per registry. fn must not
+// call Snapshot (or anything that exposes the registry) itself.
+func (r *Registry) RegisterCollector(name string, fn func()) {
+	if name == "" || fn == nil {
+		panic("obs: RegisterCollector needs a name and a function")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.collectors == nil {
+		r.collectors = make(map[string]func())
+	}
+	if _, ok := r.collectors[name]; !ok {
+		r.collectorOrder = append(r.collectorOrder, name)
+	}
+	r.collectors[name] = fn
+}
+
+// collect runs the registered collectors outside the registry lock (they
+// set gauges, which take no registry-level lock).
+func (r *Registry) collect() {
+	r.mu.Lock()
+	fns := make([]func(), 0, len(r.collectorOrder))
+	for _, name := range r.collectorOrder {
+		fns = append(fns, r.collectors[name])
+	}
+	r.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
 }
 
 func (r *Registry) register(name, help string, typ metricType, labels []string, bounds []float64) *family {

@@ -1,0 +1,66 @@
+package reqtrace
+
+import (
+	"net/http"
+	"time"
+)
+
+// Middleware wraps any http.Handler with request tracing: inbound
+// traceparent honoured, response stamped with this hop's traceparent and
+// request id, a root "serve" span covering the handler, and the finished
+// request fed to the Recorder's sinks. now is the caller's clock (the
+// daemons pass time.Now; tests pass a fake). A nil Recorder returns next
+// unchanged — zero wrapping, zero cost.
+//
+// internal/serve has its own deeper integration (per-stage spans inside
+// its middleware chain); this generic wrapper is for handlers that are
+// opaque to us, like forumd's mirror tree.
+func Middleware(next http.Handler, rec *Recorder, now func() time.Time) http.Handler {
+	if rec == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := now()
+		act := rec.Begin(r.Header.Get(Header))
+		w.Header().Set(Header, act.Traceparent())
+		w.Header().Set(RequestIDHeader, act.RequestID)
+		cw := &countingWriter{ResponseWriter: w, code: http.StatusOK}
+		ctx, span := act.Start(r.Context(), "serve")
+		span.SetAttr("path", r.URL.Path)
+		next.ServeHTTP(cw, r.WithContext(ctx))
+		span.End()
+		rec.Finish(act, RequestInfo{
+			Endpoint: r.URL.Path,
+			Method:   r.Method,
+			Code:     cw.code,
+			Duration: now().Sub(start),
+			Bytes:    cw.bytes,
+		})
+	})
+}
+
+// countingWriter records the status code and body size as they pass
+// through. Flush is forwarded so streaming handlers (forumd's stall mode
+// trickles bytes) keep working under the wrapper.
+type countingWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (w *countingWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+func (w *countingWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,142 @@
+package reqtrace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+
+	"darklight/internal/obs"
+)
+
+// Trace is one retained request: identity, outcome, why sampling kept it,
+// and the full span tree. Served verbatim at /debug/traces/{trace_id}.
+type Trace struct {
+	TraceID   string         `json:"trace_id"`
+	RequestID string         `json:"request_id"`
+	ParentID  string         `json:"parent_id,omitempty"`
+	Endpoint  string         `json:"endpoint"`
+	Method    string         `json:"method"`
+	Code      int            `json:"code"`
+	DurNS     int64          `json:"dur_ns"`
+	Bytes     int            `json:"bytes,omitempty"`
+	Sampled   string         `json:"sampled"` // inbound | sample | slow
+	Spans     []obs.SpanData `json:"spans"`
+}
+
+// Summary is the listing form of a retained trace — everything but the
+// span tree, so /debug/traces stays cheap to render and read.
+type Summary struct {
+	TraceID   string `json:"trace_id"`
+	RequestID string `json:"request_id"`
+	Endpoint  string `json:"endpoint"`
+	Method    string `json:"method"`
+	Code      int    `json:"code"`
+	DurNS     int64  `json:"dur_ns"`
+	Sampled   string `json:"sampled"`
+}
+
+// traceRing is a bounded circular buffer of retained traces with an id
+// index. Oldest entries fall off; a re-used trace id (a client replaying
+// a traceparent) resolves to the newest occurrence.
+type traceRing struct {
+	mu    sync.Mutex
+	buf   []*Trace // fixed capacity; nil slots not yet filled
+	next  int      // slot the next add overwrites
+	total uint64   // traces retained over the ring's lifetime
+	byID  map[string]int
+}
+
+func (r *traceRing) init(capacity int) {
+	r.buf = make([]*Trace, capacity)
+	r.byID = make(map[string]int, capacity)
+}
+
+func (r *traceRing) add(t *Trace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old := r.buf[r.next]; old != nil && r.byID[old.TraceID] == r.next {
+		delete(r.byID, old.TraceID)
+	}
+	r.buf[r.next] = t
+	r.byID[t.TraceID] = r.next
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+}
+
+func (r *traceRing) get(id string) *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if slot, ok := r.byID[id]; ok {
+		return r.buf[slot]
+	}
+	return nil
+}
+
+// list returns retained traces newest-first.
+func (r *traceRing) list() (out []*Trace, total uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 1; i <= len(r.buf); i++ {
+		slot := (r.next - i + len(r.buf)) % len(r.buf)
+		if r.buf[slot] == nil {
+			break
+		}
+		out = append(out, r.buf[slot])
+	}
+	return out, r.total
+}
+
+// listBody is the /debug/traces response: how many traces sampling has
+// retained ever, how many the ring still holds, and their summaries
+// newest-first.
+type listBody struct {
+	Retained uint64    `json:"retained"`
+	Held     int       `json:"held"`
+	Traces   []Summary `json:"traces"`
+}
+
+// Handler serves the trace ring. Mount it at /debug/traces: the bare path
+// lists summaries newest-first, /debug/traces/{trace_id} returns one full
+// span tree (404 when the id fell off the ring or never existed).
+func (c *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		rest := strings.TrimPrefix(req.URL.Path, "/debug/traces")
+		rest = strings.Trim(rest, "/")
+		if rest == "" {
+			traces, total := c.ring.list()
+			body := listBody{Retained: total, Held: len(traces), Traces: make([]Summary, 0, len(traces))}
+			for _, t := range traces {
+				body.Traces = append(body.Traces, Summary{
+					TraceID:   t.TraceID,
+					RequestID: t.RequestID,
+					Endpoint:  t.Endpoint,
+					Method:    t.Method,
+					Code:      t.Code,
+					DurNS:     t.DurNS,
+					Sampled:   t.Sampled,
+				})
+			}
+			writeDebugJSON(w, http.StatusOK, body)
+			return
+		}
+		if t := c.ring.get(rest); t != nil {
+			writeDebugJSON(w, http.StatusOK, t)
+			return
+		}
+		http.Error(w, "trace not found (expired from ring or never sampled)", http.StatusNotFound)
+	})
+}
+
+func writeDebugJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	//lint:ignore errdrop a failed write means the debug client hung up; nothing to do
+	enc.Encode(v)
+}

@@ -1,0 +1,37 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntime installs live Go-runtime telemetry on the registry:
+// goroutine count, heap occupancy, and garbage-collection activity,
+// refreshed by a collector at every exposition. The serving daemons
+// (attributed, forumd) register this so an operator watching /metrics can
+// separate "the matcher is slow" from "the process is drowning in GC" —
+// the batch commands leave it off because runtime values are
+// wall-clock-shaped and would make manifest metric snapshots
+// irreproducible.
+//
+// Registration is idempotent per registry (gauge schemas are fixed and
+// the collector replaces itself by name).
+func RegisterRuntime(r *Registry) {
+	goroutines := r.Gauge("runtime_goroutines", "goroutines currently live")
+	heapAlloc := r.Gauge("runtime_heap_alloc_bytes", "bytes of allocated heap objects")
+	heapSys := r.Gauge("runtime_heap_sys_bytes", "bytes of heap memory obtained from the OS")
+	heapObjects := r.Gauge("runtime_heap_objects", "allocated heap objects")
+	gcRuns := r.Gauge("runtime_gc_runs_total", "completed GC cycles since process start")
+	gcPauseTotal := r.Gauge("runtime_gc_pause_total_seconds", "cumulative stop-the-world GC pause time")
+	gcLastPause := r.Gauge("runtime_gc_last_pause_seconds", "duration of the most recent GC pause")
+	r.RegisterCollector("runtime", func() {
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapSys.Set(float64(ms.HeapSys))
+		heapObjects.Set(float64(ms.HeapObjects))
+		gcRuns.Set(float64(ms.NumGC))
+		gcPauseTotal.Set(float64(ms.PauseTotalNs) / 1e9)
+		if ms.NumGC > 0 {
+			gcLastPause.Set(float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9)
+		}
+	})
+}

@@ -196,35 +196,51 @@ type StageSummary struct {
 
 // Stages aggregates the span forest by span name, sorted by name.
 func (t *Tracer) Stages() []StageSummary {
-	agg := make(map[string]*StageSummary)
-	var walk func(d SpanData)
-	walk = func(d SpanData) {
-		s, ok := agg[d.Name]
-		if !ok {
-			s = &StageSummary{Name: d.Name}
-			agg[d.Name] = s
+	return t.AppendStages(nil)
+}
+
+// AppendStages is Stages with a caller-supplied destination, for hot
+// paths that aggregate per request (the serving access log) and want to
+// reuse a scratch slice. It walks the live spans directly — no SpanData
+// export, no attribute maps — and appends one name-sorted summary per
+// distinct span name. Distinct names per tree are few, so the lookup is
+// a linear scan rather than a map.
+func (t *Tracer) AppendStages(dst []StageSummary) []StageSummary {
+	t.mu.Lock()
+	roots := t.roots
+	for _, r := range roots {
+		dst = appendStage(dst, r)
+	}
+	t.mu.Unlock()
+	sort.Slice(dst, func(i, j int) bool { return dst[i].Name < dst[j].Name })
+	return dst
+}
+
+// appendStage folds one span (and its subtree) into dst. Parent-to-child
+// lock order matches every other acquisition in this file, so holding
+// the parent's lock across the recursion cannot deadlock.
+func appendStage(dst []StageSummary, s *Span) []StageSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := 0
+	for ; i < len(dst); i++ {
+		if dst[i].Name == s.name {
+			break
 		}
-		s.Count++
-		s.DurNS += d.DurNS
-		s.Items += d.Items
-		s.Bytes += d.Bytes
-		for _, c := range d.Children {
-			walk(c)
-		}
 	}
-	for _, r := range t.Snapshot() {
-		walk(r)
+	if i == len(dst) {
+		dst = append(dst, StageSummary{Name: s.name})
 	}
-	names := make([]string, 0, len(agg))
-	for n := range agg {
-		names = append(names, n)
+	dst[i].Count++
+	if !s.end.IsZero() {
+		dst[i].DurNS += s.end.Sub(s.start).Nanoseconds()
 	}
-	sort.Strings(names)
-	out := make([]StageSummary, 0, len(names))
-	for _, n := range names {
-		out = append(out, *agg[n])
+	dst[i].Items += s.items.Load()
+	dst[i].Bytes += s.bytes.Load()
+	for _, c := range s.children {
+		dst = appendStage(dst, c)
 	}
-	return out
+	return dst
 }
 
 // traceLine is the JSONL trace record: parent links by id, depth-first

@@ -197,6 +197,12 @@ type Stats struct {
 	// Pruned is how many known subjects were skipped without an exact
 	// score. Candidates + Pruned is the known-set size.
 	Pruned int
+	// Evictions is how many full-heap replacements the bounded top-k
+	// selection performed: scored candidates that displaced a previously
+	// retained entry. A high eviction count relative to Scored means the
+	// candidate stream arrived in a poor order for the heap (request
+	// traces surface it per query for exactly that diagnosis).
+	Evictions int
 }
 
 // Pre-filter metrics, registered on the default registry like the

@@ -11,6 +11,7 @@ package serve
 
 import (
 	"context"
+	"io"
 	"net/http"
 	"runtime"
 	"sort"
@@ -22,11 +23,16 @@ import (
 	"darklight/internal/attribution"
 	"darklight/internal/forum"
 	"darklight/internal/obs"
+	"darklight/internal/obs/reqtrace"
 )
 
 // benchEnv is built once and shared by all serve benchmarks.
 type benchEnv struct {
 	handler http.Handler
+	// traced is the same service configuration with request tracing live
+	// (recorder + access log + span tree per request); the bit-identity
+	// contract lets the Obs twin verify against the same expected bytes.
+	traced http.Handler
 	// queries[i] holds the pre-marshaled request and expected response
 	// bytes for one (endpoint, alias) pair.
 	queries []benchQuery
@@ -66,8 +72,20 @@ func benchSetup(b *testing.B) *benchEnv {
 		if err != nil {
 			panic(err)
 		}
+		// Both services share one pre-built matcher (the Corpus.Matcher
+		// hook): the traced and untraced twins then score through the very
+		// same index memory, so the overhead pair measures the tracing
+		// layer alone rather than allocator layout luck between two
+		// independently built indexes.
+		m, err := attribution.NewMatcherContext(ctx, ks, testOptions())
+		if err != nil {
+			panic(err)
+		}
+		loader := func(context.Context) (*Corpus, error) {
+			return &Corpus{Known: ks, Query: qs, Matcher: m}, nil
+		}
 		svc, err := New(ctx, Config{
-			Loader:   func(context.Context) (*Corpus, error) { return &Corpus{Known: ks, Query: qs}, nil },
+			Loader:   loader,
 			Options:  testOptions(),
 			Subjects: testSubjectOptions(),
 			APIKeys:  []string{"bench-key"},
@@ -76,12 +94,22 @@ func benchSetup(b *testing.B) *benchEnv {
 		if err != nil {
 			panic(err)
 		}
-
-		m, err := attribution.NewMatcherContext(ctx, ks, testOptions())
+		svcObs, err := New(ctx, Config{
+			Loader:   loader,
+			Options:  testOptions(),
+			Subjects: testSubjectOptions(),
+			APIKeys:  []string{"bench-key"},
+			Registry: obs.NewRegistry(),
+			Trace: reqtrace.NewRecorder(reqtrace.Options{
+				SampleRate: 0.01,
+				Slow:       250 * time.Millisecond,
+				AccessLog:  io.Discard,
+			}),
+		})
 		if err != nil {
 			panic(err)
 		}
-		env := &benchEnv{handler: svc.Handler()}
+		env := &benchEnv{handler: svc.Handler(), traced: svcObs.Handler()}
 		for i := range qs {
 			sub := &qs[i]
 			res := m.Match(sub)
@@ -126,10 +154,10 @@ func benchDrivers() int {
 	return d
 }
 
-// drive runs b.N requests through env on `drivers` closed-loop goroutines,
+// drive runs b.N requests through h on `drivers` closed-loop goroutines,
 // selecting requests via pick, verifying every body, and reporting the
 // p99 per-request latency.
-func drive(b *testing.B, env *benchEnv, drivers int, pick func(i int64) *benchQuery) {
+func drive(b *testing.B, h http.Handler, drivers int, pick func(i int64) *benchQuery) {
 	var next atomic.Int64
 	var bad atomic.Int64
 	lats := make([][]int64, drivers)
@@ -148,7 +176,7 @@ func drive(b *testing.B, env *benchEnv, drivers int, pick func(i int64) *benchQu
 				}
 				q := pick(i)
 				start := time.Now()
-				rec := do(env.handler, "POST", q.path, "bench-key", q.body)
+				rec := do(h, "POST", q.path, "bench-key", q.body)
 				mine = append(mine, time.Since(start).Nanoseconds())
 				if rec.Code != 200 || rec.Body.String() != q.want {
 					bad.Add(1)
@@ -178,13 +206,30 @@ func drive(b *testing.B, env *benchEnv, drivers int, pick func(i int64) *benchQu
 
 func BenchmarkServeRank(b *testing.B) {
 	env := benchSetup(b)
+	ranks := rankQueries(env)
+	drive(b, env.handler, benchDrivers(), func(i int64) *benchQuery { return ranks[i%int64(len(ranks))] })
+}
+
+// BenchmarkServeRankObs is BenchmarkServeRank with request tracing live:
+// traceparent minting, the per-stage span tree, probabilistic ring
+// sampling, and a (discarded) access log line per request. cmd/benchdiff's
+// -maxoverhead gate pairs it with the base benchmark; the bodies are
+// verified against the same expected bytes because tracing must not change
+// a single response byte.
+func BenchmarkServeRankObs(b *testing.B) {
+	env := benchSetup(b)
+	ranks := rankQueries(env)
+	drive(b, env.traced, benchDrivers(), func(i int64) *benchQuery { return ranks[i%int64(len(ranks))] })
+}
+
+func rankQueries(env *benchEnv) []*benchQuery {
 	var ranks []*benchQuery
 	for i := range env.queries {
 		if env.queries[i].path == "/v1/rank" {
 			ranks = append(ranks, &env.queries[i])
 		}
 	}
-	drive(b, env, benchDrivers(), func(i int64) *benchQuery { return ranks[i%int64(len(ranks))] })
+	return ranks
 }
 
 func BenchmarkServeMatch(b *testing.B) {
@@ -195,10 +240,10 @@ func BenchmarkServeMatch(b *testing.B) {
 			matches = append(matches, &env.queries[i])
 		}
 	}
-	drive(b, env, benchDrivers(), func(i int64) *benchQuery { return matches[i%int64(len(matches))] })
+	drive(b, env.handler, benchDrivers(), func(i int64) *benchQuery { return matches[i%int64(len(matches))] })
 }
 
 func BenchmarkServeMixed(b *testing.B) {
 	env := benchSetup(b)
-	drive(b, env, benchDrivers(), func(i int64) *benchQuery { return &env.queries[i%int64(len(env.queries))] })
+	drive(b, env.handler, benchDrivers(), func(i int64) *benchQuery { return &env.queries[i%int64(len(env.queries))] })
 }

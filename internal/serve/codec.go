@@ -177,13 +177,18 @@ type MatchResponse struct {
 
 // HealthResponse is the /v1/healthz reply. Healthz stays reachable while
 // draining (Status flips to "draining") so orchestrators can watch the
-// drain progress.
+// drain progress. Reloads counts installed snapshots (the initial load is
+// 1); LastJournalSeq appears only for store-backed corpora and is the
+// journal sequence the live snapshot was built from, so an operator can
+// compare it against the writer's position to see how stale the server is.
 type HealthResponse struct {
-	Status        string `json:"status"`
-	IndexVersion  int    `json:"index_version"`
-	KnownSubjects int    `json:"known_subjects"`
-	QuerySubjects int    `json:"query_subjects"`
-	Draining      bool   `json:"draining"`
+	Status         string  `json:"status"`
+	IndexVersion   int     `json:"index_version"`
+	KnownSubjects  int     `json:"known_subjects"`
+	QuerySubjects  int     `json:"query_subjects"`
+	Reloads        int     `json:"reloads"`
+	LastJournalSeq *uint64 `json:"last_journal_seq,omitempty"`
+	Draining       bool    `json:"draining"`
 }
 
 // decodeRequest strictly decodes one JSON request body into dst: bodies

@@ -1,19 +1,32 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"time"
 
 	"darklight/internal/attribution"
 	"darklight/internal/forum"
+	"darklight/internal/obs"
 	"darklight/internal/prefilter"
 )
 
 // handleRank is POST /v1/rank: stage 1 only — the top-k known subjects by
 // cosine similarity under the server's weights.
+//
+// Both the legacy path (no "prefilter" knob) and the knob path go through
+// RankDetailed — Rank is literally RankDetailed with the stats dropped, so
+// the response bytes are unchanged — which lets the rank span carry the
+// pre-filter decision payload (mode, candidates examined, heap evictions)
+// for every request, not just opted-in ones. The response shape still
+// only grows the "prefilter" object when the request set the knob.
 func (s *Service) handleRank(r *http.Request, st *state, body []byte) (any, *Error) {
+	ctx, span := obs.Start(r.Context(), "rank")
+	defer span.End()
+	span.SetAttr("index_version", strconv.Itoa(st.version))
 	var req RankRequest
 	if apiErr := decodeRequest(body, 0, &req); apiErr != nil {
 		return nil, apiErr
@@ -25,7 +38,7 @@ func (s *Service) handleRank(r *http.Request, st *state, body []byte) (any, *Err
 	if err != nil {
 		return nil, errInvalidRequest(err.Error())
 	}
-	sub, apiErr := s.resolveSubject(st, &req.Subject)
+	sub, apiErr := s.resolveSubject(ctx, st, &req.Subject)
 	if apiErr != nil {
 		return nil, apiErr
 	}
@@ -33,14 +46,20 @@ func (s *Service) handleRank(r *http.Request, st *state, body []byte) (any, *Err
 		IndexVersion: st.version,
 		Subject:      sub.Name,
 	}
+	start := s.clock.Now()
+	_, psp := obs.Start(ctx, "prefilter")
+	scored, pst := st.matcher.RankDetailed(sub, attribution.MatchOptions{K: req.K, Mode: mode})
+	psp.SetAttr("mode", pst.Mode.String())
+	psp.SetAttr("candidates", strconv.Itoa(pst.Candidates))
+	psp.SetAttr("pruned", strconv.Itoa(pst.Pruned))
+	psp.SetAttr("evictions", strconv.Itoa(pst.Evictions))
+	psp.AddItems(int64(pst.Scored))
+	psp.End()
+	resp.Candidates = candidates(scored)
 	if req.Prefilter == "" {
-		resp.Candidates = candidates(st.matcher.Rank(sub, req.K))
 		return resp, nil
 	}
-	start := s.clock.Now()
-	scored, pst := st.matcher.RankDetailed(sub, attribution.MatchOptions{K: req.K, Mode: mode})
 	s.met.prefilterLat.With(pst.Mode.String()).Observe(s.clock.Now().Sub(start).Seconds())
-	resp.Candidates = candidates(scored)
 	resp.Prefilter = &PrefilterInfo{
 		Mode:       pst.Mode.String(),
 		Candidates: pst.Candidates,
@@ -53,6 +72,9 @@ func (s *Service) handleRank(r *http.Request, st *state, body []byte) (any, *Err
 // list. Every candidate must exist in the live index — a silent drop would
 // make "no result" ambiguous between "unknown name" and "scored last".
 func (s *Service) handleRescore(r *http.Request, st *state, body []byte) (any, *Error) {
+	ctx, span := obs.Start(r.Context(), "rescore")
+	defer span.End()
+	span.SetAttr("index_version", strconv.Itoa(st.version))
 	var req RescoreRequest
 	if apiErr := decodeRequest(body, 0, &req); apiErr != nil {
 		return nil, apiErr
@@ -67,10 +89,11 @@ func (s *Service) handleRescore(r *http.Request, st *state, body []byte) (any, *
 		}
 		list[i] = attribution.Scored{Name: name}
 	}
-	sub, apiErr := s.resolveSubject(st, &req.Subject)
+	sub, apiErr := s.resolveSubject(ctx, st, &req.Subject)
 	if apiErr != nil {
 		return nil, apiErr
 	}
+	span.AddItems(int64(len(list)))
 	scored := st.matcher.Rescore(sub, list)
 	return &RescoreResponse{
 		IndexVersion: st.version,
@@ -83,15 +106,19 @@ func (s *Service) handleRescore(r *http.Request, st *state, body []byte) (any, *
 // body is field-for-field the facade's MatchResult — the concurrency test
 // pins the bytes identical to darklight.Pipeline output.
 func (s *Service) handleMatch(r *http.Request, st *state, body []byte) (any, *Error) {
+	ctx, span := obs.Start(r.Context(), "match")
+	defer span.End()
+	span.SetAttr("index_version", strconv.Itoa(st.version))
 	var req MatchRequest
 	if apiErr := decodeRequest(body, 0, &req); apiErr != nil {
 		return nil, apiErr
 	}
-	sub, apiErr := s.resolveSubject(st, &req.Subject)
+	sub, apiErr := s.resolveSubject(ctx, st, &req.Subject)
 	if apiErr != nil {
 		return nil, apiErr
 	}
 	res := st.matcher.Match(sub)
+	span.SetAttr("accepted", strconv.FormatBool(res.Accepted))
 	return matchResponse(st.version, &res, s.cfg.Options.Threshold), nil
 }
 
@@ -112,7 +139,10 @@ func matchResponse(version int, res *attribution.MatchResult, threshold float64)
 }
 
 // handleHealthz is GET /v1/healthz. It needs no auth and survives the
-// drain gate so orchestrators can watch a draining instance go quiet.
+// drain gate so orchestrators can watch a draining instance go quiet. The
+// body carries the live snapshot's provenance — index version, reload
+// count, and (for store-backed corpora) the journal sequence the snapshot
+// was built from — so "is it up" and "is it current" are one probe.
 func (s *Service) handleHealthz(r *http.Request, st *state, _ []byte) (any, *Error) {
 	status := "ok"
 	draining := s.draining.Load()
@@ -120,11 +150,13 @@ func (s *Service) handleHealthz(r *http.Request, st *state, _ []byte) (any, *Err
 		status = "draining"
 	}
 	return &HealthResponse{
-		Status:        status,
-		IndexVersion:  st.version,
-		KnownSubjects: len(st.known),
-		QuerySubjects: len(st.query),
-		Draining:      draining,
+		Status:         status,
+		IndexVersion:   st.version,
+		KnownSubjects:  len(st.known),
+		QuerySubjects:  len(st.query),
+		Reloads:        int(s.reloadCount.Load()),
+		LastJournalSeq: st.lastSeq,
+		Draining:       draining,
 	}, nil
 }
 
@@ -150,18 +182,25 @@ func candidates(scored []attribution.Scored) []Candidate {
 
 // resolveSubject turns a SubjectSpec into a matchable subject: a by-alias
 // reference into the snapshot's query corpus, or an inline subject built
-// through the exact BuildSubjects path the batch pipeline uses.
-func (s *Service) resolveSubject(st *state, spec *SubjectSpec) (*attribution.Subject, *Error) {
+// through the exact BuildSubjects path the batch pipeline uses. The
+// "resolve" span separates cheap alias lookups from expensive inline
+// subject builds in a retained trace.
+func (s *Service) resolveSubject(ctx context.Context, st *state, spec *SubjectSpec) (*attribution.Subject, *Error) {
+	_, span := obs.Start(ctx, "resolve")
+	defer span.End()
 	if apiErr := spec.validate(); apiErr != nil {
 		return nil, apiErr
 	}
 	if spec.Alias != "" {
+		span.SetAttr("source", "alias")
 		sub, ok := st.query[spec.Alias]
 		if !ok {
 			return nil, errUnknownAlias(spec.Alias)
 		}
 		return sub, nil
 	}
+	span.SetAttr("source", "inline")
+	span.AddItems(int64(len(spec.Messages)))
 	ds := forum.NewDataset("inline", forum.PlatformSynthetic)
 	a := forum.Alias{Name: spec.Name, Messages: make([]forum.Message, len(spec.Messages))}
 	for i, m := range spec.Messages {

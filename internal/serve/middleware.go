@@ -6,6 +6,9 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+
+	"darklight/internal/obs"
+	"darklight/internal/obs/reqtrace"
 )
 
 // endpointMode selects the middleware chain an endpoint runs under.
@@ -33,14 +36,34 @@ var (
 // HTTP-shaped around it.
 type handlerFunc func(r *http.Request, st *state, body []byte) (any, *Error)
 
-// endpoint wraps h in the middleware chain: in-flight accounting, the
-// drain gate, method check, auth, rate limiting, body bounding, response
-// encoding, and per-endpoint request/latency metrics. The state snapshot
-// is loaded exactly once per request, so handlers never observe a reload
-// mid-request.
+// endpoint wraps h in the middleware chain: request tracing, in-flight
+// accounting, the drain gate, method check, auth, rate limiting, body
+// bounding, response encoding, and per-endpoint request/latency metrics.
+// The state snapshot is loaded exactly once per request, so handlers never
+// observe a reload mid-request.
+//
+// Tracing (Config.Trace non-nil) stamps the response with this hop's
+// traceparent and request id, installs a root "serve" span on the request
+// context (the stage spans below nest under it), and reports the finished
+// request to the recorder's sinks. Response BODIES are bit-identical with
+// tracing on or off — only the two response headers differ.
 func (s *Service) endpoint(name string, mode endpointMode, h handlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := s.clock.Now()
+		act := s.cfg.Trace.Begin(r.Header.Get(reqtrace.Header))
+		var root *obs.Span
+		var counted *byteCountWriter
+		out := w
+		if act != nil {
+			w.Header().Set(reqtrace.Header, act.Traceparent())
+			w.Header().Set(reqtrace.RequestIDHeader, act.RequestID)
+			counted = &byteCountWriter{ResponseWriter: w}
+			out = counted
+			var ctx = r.Context()
+			ctx, root = act.Start(ctx, "serve")
+			root.SetAttr("endpoint", name)
+			r = r.WithContext(ctx)
+		}
 		s.inflight.Add(1)
 		s.met.inflight.Add(1)
 		defer func() {
@@ -66,21 +89,55 @@ func (s *Service) endpoint(name string, mode endpointMode, h handlerFunc) http.H
 		status := http.StatusOK
 		if apiErr != nil {
 			status = apiErr.Status
-			writeError(w, apiErr)
+			writeError(out, apiErr)
 		} else {
-			writeJSON(w, status, resp)
+			writeJSON(out, status, resp)
 		}
+		elapsed := s.clock.Now().Sub(start)
 		s.met.requests.With(name, strconv.Itoa(status)).Inc()
-		s.met.latency.With(name).Observe(s.clock.Now().Sub(start).Seconds())
+		s.met.latency.With(name).Observe(elapsed.Seconds())
+		s.quant.Observe(s.clock.Now(), elapsed.Seconds())
+		if act != nil {
+			root.SetAttr("code", strconv.Itoa(status))
+			if apiErr != nil {
+				root.SetAttr("error", apiErr.Code)
+			}
+			root.End()
+			s.cfg.Trace.Finish(act, reqtrace.RequestInfo{
+				Endpoint: name,
+				Method:   r.Method,
+				Code:     status,
+				Duration: elapsed,
+				Bytes:    counted.n,
+			})
+		}
 	})
 }
 
+// byteCountWriter counts response bytes for the access log. Writes pass
+// through untouched, so wrapping cannot change the bytes on the wire.
+type byteCountWriter struct {
+	http.ResponseWriter
+	n int
+}
+
+func (w *byteCountWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.n += n
+	return n, err
+}
+
 // serveOne runs the chain for one request and returns either a response
-// value or a structured error.
+// value or a structured error. Each stage runs under its own span (nested
+// below the endpoint's root "serve" span) so a retained trace shows where
+// a rejected request died and what each admission decision was; with
+// tracing off every obs.Start returns a nil span and the stages cost
+// nothing.
 func (s *Service) serveOne(r *http.Request, st *state, mode endpointMode, h handlerFunc) (any, *Error) {
 	if r.Method != mode.method {
 		return nil, &Error{Code: CodeMethodNotAllowed, Message: "use " + mode.method, Status: http.StatusMethodNotAllowed}
 	}
+	ctx := r.Context()
 	presented := r.Header.Get("X-API-Key")
 	// key stays empty unless auth actually validated the header: when auth
 	// is disabled the X-API-Key value is attacker-controlled, and keying
@@ -88,16 +145,27 @@ func (s *Service) serveOne(r *http.Request, st *state, mode endpointMode, h hand
 	// — a full rate-limit bypass that also inflates the bucket map.
 	key := ""
 	if mode.auth && s.keys != nil {
+		_, sp := obs.Start(ctx, "auth")
 		if presented == "" {
+			sp.SetAttr("result", "missing")
+			sp.End()
 			return nil, &Error{Code: CodeUnauthorized, Message: "missing X-API-Key header", Status: http.StatusUnauthorized}
 		}
 		if _, ok := s.keys[presented]; !ok {
+			sp.SetAttr("result", "invalid")
+			sp.End()
 			return nil, &Error{Code: CodeInvalidAPIKey, Message: "the presented API key is not recognised", Status: http.StatusForbidden}
 		}
 		key = presented
+		sp.SetAttr("result", "ok")
+		sp.End()
 	}
 	if mode.limit {
-		if ok, wait := s.limiter.allow(clientKey(key, r)); !ok {
+		_, sp := obs.Start(ctx, "ratelimit")
+		ok, wait := s.limiter.allow(clientKey(key, r))
+		if !ok {
+			sp.SetAttr("result", "limited")
+			sp.End()
 			return nil, &Error{
 				Code:       CodeRateLimited,
 				Message:    "per-client rate limit exceeded; retry after the Retry-After delay",
@@ -105,17 +173,23 @@ func (s *Service) serveOne(r *http.Request, st *state, mode endpointMode, h hand
 				retryAfter: wait,
 			}
 		}
+		sp.SetAttr("result", "ok")
+		sp.End()
 	}
 	// Deadline check before any expensive work: a request that spent its
 	// budget queueing is answered with a timeout envelope instead of
 	// burning matcher time on an answer nobody is waiting for.
-	if err := r.Context().Err(); err != nil {
+	if err := ctx.Err(); err != nil {
 		return nil, &Error{Code: CodeTimeout, Message: "request deadline exceeded before handling started", Status: http.StatusServiceUnavailable}
 	}
 	var body []byte
 	if mode.readBody {
+		_, sp := obs.Start(ctx, "decode")
 		var apiErr *Error
-		if body, apiErr = s.readBody(r); apiErr != nil {
+		body, apiErr = s.readBody(r)
+		sp.AddBytes(int64(len(body)))
+		sp.End()
+		if apiErr != nil {
 			return nil, apiErr
 		}
 	}

@@ -10,6 +10,7 @@ import (
 
 	"darklight/internal/attribution"
 	"darklight/internal/obs"
+	"darklight/internal/obs/reqtrace"
 )
 
 // Corpus is what a Loader hands the service: the known subjects to index
@@ -23,6 +24,11 @@ type Corpus struct {
 	// installed as-is instead of re-indexing Known. The Options the matcher
 	// was built with win over Config.Options.
 	Matcher *attribution.Matcher
+	// LastJournalSeq, when non-nil, is the last applied journal sequence of
+	// the store the corpus was loaded from; healthz surfaces it so an
+	// operator can line the serving snapshot up against the writer's
+	// journal position. Loaders without a durable store leave it nil.
+	LastJournalSeq *uint64
 }
 
 // Loader produces the corpus. It runs once at startup and again on every
@@ -52,6 +58,12 @@ type Config struct {
 	Clock Clock
 	// Registry receives the per-endpoint metrics (default obs.Default()).
 	Registry *obs.Registry
+	// Trace, when non-nil, enables request tracing: every request gets a
+	// traceparent and request id stamped on the response, flows through a
+	// per-stage span tree, and is reported to the recorder's sinks (access
+	// log, sampled-trace ring). nil disables tracing entirely — response
+	// bodies are bit-identical either way (TestTraceBitIdentity pins it).
+	Trace *reqtrace.Recorder
 }
 
 // state is one immutable index snapshot. Handlers load it once per request
@@ -67,6 +79,9 @@ type state struct {
 	// query resolves by-alias subjects; duplicate names resolve to the
 	// last occurrence (the matcher's own byName rule).
 	query map[string]*attribution.Subject
+	// lastSeq is the loader-reported journal sequence this snapshot was
+	// built from (nil when the corpus has no durable store behind it).
+	lastSeq *uint64
 }
 
 // Service is the attribution daemon's handler layer: it owns the index
@@ -78,8 +93,17 @@ type Service struct {
 	keys    map[string]struct{}
 	limiter *rateLimiter
 	met     *metrics
+	// quant feeds the rolling-window p50/p99 latency gauges; always on
+	// (the gauges do not require tracing to be enabled).
+	quant *reqtrace.Window
 
 	state atomic.Pointer[state]
+
+	// reloadCount is how many snapshots install has published (the initial
+	// load counts); healthz reports it. Kept on the Service rather than
+	// read back from the metrics counter so a registry shared between
+	// services cannot cross-contaminate the number.
+	reloadCount atomic.Int64
 
 	reloadMu sync.Mutex // serialises Reload; swaps stay atomic for readers
 
@@ -105,6 +129,12 @@ type metrics struct {
 	// prefilterLat tracks stage-1 latency by the pre-filter mode that
 	// actually ran, for requests that set the /v1/rank "prefilter" knob.
 	prefilterLat *obs.HistogramVec // serve_prefilter_seconds{mode}
+	// p50/p99 are rolling-window request-latency quantiles, refreshed by a
+	// registry collector from the service's quantile window at exposition
+	// time — unlike the cumulative latency histogram, they answer "how slow
+	// is the server right now".
+	p50 *obs.Gauge // serve_request_seconds_p50
+	p99 *obs.Gauge // serve_request_seconds_p99
 }
 
 // latencyBuckets spans sub-millisecond handler hits through slow seconds.
@@ -122,8 +152,19 @@ func newMetrics(r *obs.Registry) *metrics {
 		prefilterLat: r.HistogramVec("serve_prefilter_seconds",
 			"stage-1 latency by pre-filter mode for /v1/rank requests that set the knob",
 			latencyBuckets, "mode"),
+		p50: r.Gauge("serve_request_seconds_p50", "rolling-window request latency median"),
+		p99: r.Gauge("serve_request_seconds_p99", "rolling-window request latency 99th percentile"),
 	}
 }
+
+// quantWindow/quantSlices/quantCap shape the rolling latency window: one
+// minute in ten-second slices, up to 512 retained observations per slice
+// (reservoir-sampled beyond that).
+const (
+	quantWindow = time.Minute
+	quantSlices = 6
+	quantCap    = 512
+)
 
 // ErrDrainTimeout is returned by Drain when in-flight requests do not
 // complete within the deadline.
@@ -151,7 +192,13 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 		clock:   cfg.Clock,
 		limiter: newRateLimiter(cfg.RatePerSec, cfg.Burst, cfg.Clock),
 		met:     newMetrics(cfg.Registry),
+		quant:   reqtrace.NewWindow(quantWindow, quantSlices, quantCap, 0),
 	}
+	cfg.Registry.RegisterCollector("serve_request_quantiles", func() {
+		now := s.clock.Now()
+		s.met.p50.Set(s.quant.Quantile(now, 0.5))
+		s.met.p99.Set(s.quant.Quantile(now, 0.99))
+	})
 	if len(cfg.APIKeys) > 0 {
 		s.keys = make(map[string]struct{}, len(cfg.APIKeys))
 		for _, k := range cfg.APIKeys {
@@ -185,6 +232,10 @@ func (s *Service) build(ctx context.Context, version int) (*state, error) {
 		known:    c.Known,
 		knownSet: make(map[string]struct{}, len(c.Known)),
 	}
+	if c.LastJournalSeq != nil {
+		seq := *c.LastJournalSeq // copy: the loader may reuse its corpus struct
+		st.lastSeq = &seq
+	}
 	for i := range c.Known {
 		st.knownSet[c.Known[i].Name] = struct{}{}
 	}
@@ -205,6 +256,7 @@ func (s *Service) install(st *state) {
 	s.met.version.Set(float64(st.version))
 	s.met.known.Set(float64(len(st.known)))
 	s.met.reloads.Inc()
+	s.reloadCount.Add(1)
 }
 
 // Reload re-runs the loader and atomically swaps in the new index. In-flight
